@@ -1,0 +1,56 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures.  A full
+cycle-level grid (13 designs x 10 workloads) takes minutes in Python, so
+the default instruction budget is modest; override through environment
+variables for paper-scale runs::
+
+    REPRO_BENCH_INSTS=60000 pytest benchmarks/ --benchmark-only
+    REPRO_BENCH_WORKLOADS=compress,xlisp pytest benchmarks/test_figure5.py --benchmark-only
+    REPRO_BENCH_DESIGNS=T4,T1,M8 ...
+
+Rendered tables are printed and archived under ``results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_insts(default: int = 20_000) -> int:
+    """Per-run dynamic instruction budget."""
+    return int(os.environ.get("REPRO_BENCH_INSTS", default))
+
+
+def bench_workloads() -> list[str] | None:
+    """Workload subset (None = all ten)."""
+    raw = os.environ.get("REPRO_BENCH_WORKLOADS")
+    return raw.split(",") if raw else None
+
+
+def bench_designs() -> list[str] | None:
+    """Design subset (None = all of Table 2)."""
+    raw = os.environ.get("REPRO_BENCH_DESIGNS")
+    return raw.split(",") if raw else None
+
+
+def archive(name: str, text: str) -> None:
+    """Print the rendered experiment and save it under results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_build_cache():
+    """Keep memory bounded when many grids run in one session."""
+    yield
+    from repro.eval.runner import clear_build_cache
+
+    clear_build_cache()

@@ -1,0 +1,26 @@
+"""Ablation benches: the design-choice studies DESIGN.md §6 calls out.
+
+Not figures from the paper — these interrogate the knobs its design
+sections (§3.2-§3.5) discuss qualitatively.
+"""
+
+import pytest
+from conftest import archive, bench_insts, bench_workloads
+
+from repro.eval.sensitivity import ALL_SWEEPS
+
+
+@pytest.mark.parametrize("name", sorted(ALL_SWEEPS))
+def test_ablation(benchmark, name):
+    sweep = ALL_SWEEPS[name]
+
+    def run():
+        return sweep(
+            workloads=bench_workloads(), max_instructions=bench_insts(12_000)
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    archive(f"ablation_{name}", result.render())
+    first = next(iter(result.relative))
+    assert result.relative[first] == pytest.approx(1.0)
+    assert all(rel > 0 for rel in result.relative.values())

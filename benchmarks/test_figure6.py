@@ -1,0 +1,23 @@
+"""Regenerate the paper's Figure 6 (TLB miss rate vs TLB size)."""
+
+from conftest import archive, bench_insts, bench_workloads
+
+from repro.eval.missrates import run_figure6
+from repro.eval.report import render_figure6
+
+
+def test_figure6(benchmark):
+    def run():
+        return run_figure6(
+            workloads=bench_workloads(),
+            max_instructions=max(bench_insts(), 60_000),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    archive("figure6", render_figure6(result))
+    rtw = result.rtw_average
+    # The paper's shape: average miss rate falls monotonically over the
+    # LRU sizes and is "already very low" at 128 entries.
+    assert rtw[4] >= rtw[8] >= rtw[16]
+    assert rtw[128] < rtw[4]
+    assert rtw[128] < 0.05

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Write your own workload in assembly and put it on the machine.
+
+Demonstrates the full pipeline on a hand-written program: assemble the
+text, initialize its data, execute it functionally, then time it under
+two translation designs.  The program walks two arrays that live on
+*different* virtual pages with paired loads — the access pattern where a
+single-ported TLB serializes but a piggybacked or dual-ported TLB keeps
+up.
+
+Usage::
+
+    python examples/custom_workload_asm.py
+"""
+
+from repro.engine import Machine, MachineConfig
+from repro.func.executor import Executor
+from repro.isa.assembler import assemble
+from repro.mem.memory import SparseMemory
+from repro.tlb import make_mechanism
+
+SOURCE = """
+# r2 -> array A, r3 -> array B (different pages), r4 = iterations
+    lui  r2, 0x2000
+    lui  r3, 0x2001
+    addi r4, r0, 400
+    addi r5, r0, 0          # accumulator
+loop:
+    lw   r6, 0(r2)          # two same-cycle loads on different pages
+    lw   r7, 0(r3)
+    lw   r8, 4(r2)
+    lw   r9, 4(r3)
+    add  r5, r5, r6
+    add  r5, r5, r7
+    add  r5, r5, r8
+    add  r5, r5, r9
+    addi r2, r2, 8
+    addi r3, r3, 8
+    addi r4, r4, -1
+    bne  r4, r0, loop
+    lui  r10, 0x3000
+    sw   r5, 0(r10)
+    halt
+"""
+
+
+def build_memory() -> SparseMemory:
+    memory = SparseMemory()
+    for i in range(1024):
+        memory.store_word(0x2000_0000 + 4 * i, i)
+        memory.store_word(0x2001_0000 + 4 * i, 2 * i)
+    return memory
+
+
+def main() -> None:
+    program = assemble(SOURCE, name="paired-walk")
+    print("Program listing:")
+    print(program.listing())
+
+    # Functional run first: check the program computes what we expect.
+    memory = build_memory()
+    executor = Executor(program, memory)
+    for _ in executor.run():
+        pass
+    print(f"\nfunctional result: {memory.load_word(0x3000_0000)}")
+    print(f"instructions retired: {executor.retired}")
+
+    # Timing runs: T1 serializes the paired loads; PB1 combines only
+    # same-page pairs, T2 translates both pages at once.
+    print(f"\n{'design':8s} {'cycles':>8s} {'IPC':>7s} {'port stalls':>12s}")
+    for design in ("T1", "PB1", "T2", "T4"):
+        config = MachineConfig()
+        mech = make_mechanism(design, config.page_shift)
+        trace = Executor(program, build_memory()).run()
+        result = Machine(config, mech, trace).run()
+        print(
+            f"{design:8s} {result.cycles:8d} {result.ipc:7.3f} "
+            f"{result.stats.translation.port_stall_cycles:12d}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Design-space sweep: every Table 2 design over every workload.
+
+A miniature of the paper's Figure 5 grid with a per-design breakdown of
+*why* each design performs the way it does, in terms of the paper's
+Section 2 model:
+
+* ``f_shielded``  — fraction of requests never reaching the base TLB;
+* ``piggybacked`` — requests satisfied by combining at a port;
+* ``t_stalled``   — mean cycles queued for a translation port;
+* ``M_TLB``       — base-TLB miss rate.
+
+Usage::
+
+    python examples/design_space_sweep.py [instructions]
+"""
+
+import sys
+
+from repro import DESIGN_MNEMONICS, RunRequest, iter_workload_names, run_one
+from repro.eval.weighting import normalized_rtw_average
+
+
+def main() -> None:
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    workloads = list(iter_workload_names())
+
+    ipcs: dict[str, dict[str, float]] = {}
+    detail: dict[str, dict[str, float]] = {}
+    t4_cycles: dict[str, float] = {}
+    for design in DESIGN_MNEMONICS:
+        per: dict[str, float] = {}
+        shielded = piggy = stalls = requests = probes = misses = 0
+        for workload in workloads:
+            res = run_one(
+                RunRequest(workload=workload, design=design, max_instructions=budget)
+            )
+            per[workload] = res.ipc
+            if design == "T4":
+                t4_cycles[workload] = float(res.cycles)
+            t = res.stats.translation
+            shielded += t.shielded
+            piggy += t.piggybacked
+            stalls += t.port_stall_cycles
+            requests += t.requests
+            probes += t.base_probes
+            misses += t.base_misses
+        ipcs[design] = per
+        detail[design] = dict(
+            f_shielded=shielded / requests if requests else 0.0,
+            piggybacked=piggy / requests if requests else 0.0,
+            t_stalled=stalls / requests if requests else 0.0,
+            m_tlb=misses / probes if probes else 0.0,
+        )
+        print(f"  swept {design} ({len(workloads)} workloads)", file=sys.stderr)
+
+    relative = normalized_rtw_average(ipcs, t4_cycles)
+    print(
+        f"\n{'design':8s} {'rel IPC':>8s} {'f_shield':>9s} {'piggy':>7s} "
+        f"{'t_stall':>8s} {'M_TLB%':>7s}"
+    )
+    for design in DESIGN_MNEMONICS:
+        d = detail[design]
+        bar = "#" * round(relative[design] * 40)
+        print(
+            f"{design:8s} {relative[design]:8.3f} {d['f_shielded']:9.3f} "
+            f"{d['piggybacked']:7.3f} {d['t_stalled']:8.3f} "
+            f"{100 * d['m_tlb']:7.2f}  {bar}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: compare address-translation designs on one workload.
+
+Runs the ``xlisp`` workload (pointer-chasing Lisp kernel) under four of
+the paper's Table 2 designs and prints IPC plus the Section 2 model
+quantities (shielded fraction, port stalls, base-TLB miss rate).
+
+Usage::
+
+    python examples/quickstart.py [workload] [instructions]
+"""
+
+import sys
+
+from repro import RunRequest, run_one
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "xlisp"
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 40_000
+
+    designs = ["T4", "T1", "M8", "PB2"]
+    print(f"workload={workload}, budget={budget} instructions\n")
+    print(
+        f"{'design':8s} {'IPC':>6s} {'rel':>6s} {'f_shielded':>11s} "
+        f"{'stall cyc':>10s} {'TLB miss%':>10s}"
+    )
+    t4_ipc = None
+    for design in designs:
+        result = run_one(
+            RunRequest(workload=workload, design=design, max_instructions=budget)
+        )
+        t = result.stats.translation
+        if t4_ipc is None:
+            t4_ipc = result.ipc
+        print(
+            f"{design:8s} {result.ipc:6.3f} {result.ipc / t4_ipc:6.3f} "
+            f"{t.shielded_fraction:11.3f} {t.port_stall_cycles:10d} "
+            f"{100 * t.base_miss_rate:10.2f}"
+        )
+    print(
+        "\nT4 is the paper's unlimited-bandwidth yardstick; 'rel' is the"
+        " normalized IPC the paper's Figure 5 bars show."
+    )
+
+
+if __name__ == "__main__":
+    main()

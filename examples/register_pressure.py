@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Register pressure study (the paper's Figure 9 in miniature).
+
+Rebuilds each workload at 32 int/32 fp and 8 int/8 fp architected
+registers, then compares reference density and the performance of a
+multi-level TLB versus a piggybacked single-ported TLB.  The paper's
+finding: spill traffic is heavy but stack-local, so the small L1 TLB
+keeps shielding, while designs relying on page diversity suffer.
+
+Usage::
+
+    python examples/register_pressure.py [workload ...]
+"""
+
+import sys
+
+from repro import RunRequest, run_one
+
+BUDGET = 25_000
+
+
+def density(result) -> float:
+    s = result.stats
+    return (s.loads + s.stores) / s.committed if s.committed else 0.0
+
+
+def main() -> None:
+    workloads = sys.argv[1:] or ["tomcatv", "doduc", "espresso"]
+    print(
+        f"{'workload':12s} {'regs':>5s} {'refs/inst':>10s} "
+        f"{'M4 rel':>7s} {'PB1 rel':>8s} {'M4 shield':>10s}"
+    )
+    for workload in workloads:
+        for int_regs, fp_regs in ((32, 32), (8, 8)):
+            kw = dict(
+                workload=workload,
+                int_regs=int_regs,
+                fp_regs=fp_regs,
+                max_instructions=BUDGET,
+            )
+            t4 = run_one(RunRequest(design="T4", **kw))
+            m4 = run_one(RunRequest(design="M4", **kw))
+            pb1 = run_one(RunRequest(design="PB1", **kw))
+            print(
+                f"{workload:12s} {int_regs:5d} {density(t4):10.3f} "
+                f"{m4.ipc / t4.ipc:7.3f} {pb1.ipc / t4.ipc:8.3f} "
+                f"{m4.stats.translation.shielded_fraction:10.3f}"
+            )
+    print(
+        "\nWith 8 registers the reference density jumps (spill traffic),"
+        "\nbut the spills hit a handful of stack pages, so the 4-entry L1"
+        "\nTLB (M4) keeps its shield while bandwidth-hungrier designs pay."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+This offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs fail; this shim lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` (and ``python setup.py develop``) work.
+"""
+
+from setuptools import setup
+
+setup()

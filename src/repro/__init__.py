@@ -1,0 +1,42 @@
+"""repro — reproduction of Austin & Sohi, "High-Bandwidth Address
+Translation for Multiple-Issue Processors" (ISCA 1996).
+
+Quick start::
+
+    from repro import RunRequest, run_one
+
+    result = run_one(RunRequest(workload="xlisp", design="M8"))
+    print(result.ipc, result.stats.translation.shielded_fraction)
+
+Packages
+--------
+``repro.isa``        mini MIPS-like ISA, program builder, register allocator
+``repro.mem``        sparse memory, page table, address-space layout
+``repro.func``       functional simulator (dynamic instruction stream)
+``repro.branch``     GAp branch predictor and friends
+``repro.caches``     set-associative caches, MSHRs
+``repro.tlb``        the paper's address-translation designs (Table 2)
+``repro.engine``     cycle-level 8-way in-order/out-of-order machine
+``repro.workloads``  the ten synthetic benchmarks
+``repro.eval``       experiment drivers for every table and figure
+"""
+
+from repro.engine import Machine, MachineConfig, SimulationResult
+from repro.eval.runner import RunRequest, run_one
+from repro.tlb import DESIGN_MNEMONICS, make_mechanism
+from repro.workloads import iter_workload_names, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DESIGN_MNEMONICS",
+    "Machine",
+    "MachineConfig",
+    "RunRequest",
+    "SimulationResult",
+    "__version__",
+    "iter_workload_names",
+    "make_mechanism",
+    "make_workload",
+    "run_one",
+]

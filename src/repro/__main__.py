@@ -1,0 +1,181 @@
+"""Top-level command line interface.
+
+Usage::
+
+    python -m repro list
+    python -m repro run xlisp M8 [--insts N] [--inorder] [--pages 8192]
+                                 [--regs 8] [--itlb]
+    python -m repro profile tfft [--insts N]
+    python -m repro misscurve compress [--insts N]
+    python -m repro demand espresso T4 [--insts N]
+    python -m repro disasm perl [--max-lines N]
+    python -m repro verify tfft [--regs 8]
+
+(The experiment drivers live under ``python -m repro.eval``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.demand import demand_profile
+from repro.analysis.reusedist import StackDistanceAnalyzer
+from repro.analysis.spatial import profile_workload
+from repro.eval.runner import RunRequest, run_one
+from repro.func.executor import Executor
+from repro.tlb.factory import DESIGN_MNEMONICS, EXTENSION_MNEMONICS
+from repro.workloads import iter_workload_names, make_workload
+
+
+def _cmd_list(args) -> int:
+    print("workloads:")
+    for name in iter_workload_names():
+        wl = make_workload(name)
+        print(f"  {name:12s} [{wl.regime:7s}] {wl.description}")
+    print("\ndesigns (Table 2):")
+    print("  " + " ".join(DESIGN_MNEMONICS))
+    print("extension designs:")
+    print("  " + " ".join(EXTENSION_MNEMONICS))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    req = RunRequest(
+        workload=args.workload,
+        design=args.design,
+        issue_model="inorder" if args.inorder else "ooo",
+        page_size=args.pages,
+        int_regs=args.regs,
+        fp_regs=args.regs,
+        max_instructions=args.insts,
+    )
+    result = run_one(req)
+    s = result.stats
+    t = s.translation
+    print(f"{args.workload} / {args.design}:")
+    print(f"  cycles              {s.cycles}")
+    print(f"  committed           {s.committed}  (IPC {s.commit_ipc:.3f})")
+    print(f"  issued              {s.issued}  (IPC {s.issue_ipc:.3f}, incl. wrong path)")
+    print(f"  loads/stores        {s.loads}/{s.stores}  ({s.mem_refs_per_cycle:.2f} refs/cycle)")
+    print(f"  branch prediction   {100 * s.branch_prediction_rate:.1f}%")
+    print(f"  f_shielded          {t.shielded_fraction:.3f}")
+    print(f"  piggybacked         {t.piggybacked}")
+    print(f"  port stall cycles   {t.port_stall_cycles} (mean {t.mean_port_stall:.3f}/req)")
+    print(f"  base TLB miss rate  {100 * t.base_miss_rate:.2f}%  ({s.tlb_miss_services} walks)")
+    print(f"  forwarded loads     {s.forwarded_loads}")
+    print(f"  dcache miss rate    {100 * s.dcache.miss_rate:.2f}%")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    profile = profile_workload(args.workload, max_instructions=args.insts)
+    print(f"spatial profile — {profile.workload}")
+    print(f"  references               {profile.references}")
+    print(f"  distinct pages           {profile.distinct_pages}")
+    print(f"  same-page adjacency      {profile.same_page_adjacent:.3f}")
+    print(f"  same-page 4-groups       {profile.same_page_group4:.3f}")
+    print(f"  base-reg page reuse      {profile.base_register_page_reuse:.3f}")
+    print(f"  pages by region          {profile.pages_by_region}")
+    return 0
+
+
+def _cmd_misscurve(args) -> int:
+    build = make_workload(args.workload).build()
+    analyzer = StackDistanceAnalyzer()
+    executor = Executor(build.program, build.memory)
+    for dyn in executor.run(max_instructions=args.insts):
+        if dyn.ea is not None:
+            analyzer.touch(dyn.ea >> 12)
+    print(f"exact LRU miss curve — {args.workload} "
+          f"({analyzer.references} refs, {analyzer.distinct_pages()} pages)")
+    for size in (2, 4, 8, 16, 32, 64, 128, 256):
+        rate = analyzer.miss_rate(size)
+        bar = "#" * round(50 * rate)
+        print(f"  {size:4d} entries: {100 * rate:6.2f}%  {bar}")
+    return 0
+
+
+def _cmd_demand(args) -> int:
+    result = run_one(
+        RunRequest(
+            workload=args.workload, design=args.design, max_instructions=args.insts
+        )
+    )
+    print(demand_profile(result).render())
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.isa.verify import verify_program
+
+    build = make_workload(args.workload).build(int_regs=args.regs, fp_regs=args.regs)
+    findings = verify_program(build.program)
+    if not findings:
+        print(f"{args.workload}: clean ({len(build.program)} instructions)")
+        return 0
+    for finding in findings:
+        print(finding)
+    errors = sum(1 for f in findings if f.severity == "error")
+    return 1 if errors else 0
+
+
+def _cmd_disasm(args) -> int:
+    build = make_workload(args.workload).build()
+    listing = build.program.listing().splitlines()
+    for line in listing[: args.max_lines]:
+        print(line)
+    if len(listing) > args.max_lines:
+        print(f"... ({len(listing) - args.max_lines} more lines)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and designs")
+
+    p_run = sub.add_parser("run", help="one timing run")
+    p_run.add_argument("workload")
+    p_run.add_argument("design")
+    p_run.add_argument("--insts", type=int, default=40_000)
+    p_run.add_argument("--inorder", action="store_true")
+    p_run.add_argument("--pages", type=int, default=4096)
+    p_run.add_argument("--regs", type=int, default=32)
+
+    p_prof = sub.add_parser("profile", help="spatial locality profile")
+    p_prof.add_argument("workload")
+    p_prof.add_argument("--insts", type=int, default=60_000)
+
+    p_miss = sub.add_parser("misscurve", help="exact LRU miss curve")
+    p_miss.add_argument("workload")
+    p_miss.add_argument("--insts", type=int, default=60_000)
+
+    p_dem = sub.add_parser("demand", help="translation demand histogram")
+    p_dem.add_argument("workload")
+    p_dem.add_argument("design")
+    p_dem.add_argument("--insts", type=int, default=30_000)
+
+    p_dis = sub.add_parser("disasm", help="disassemble a workload")
+    p_dis.add_argument("workload")
+    p_dis.add_argument("--max-lines", type=int, default=80)
+
+    p_ver = sub.add_parser("verify", help="lint a workload's program")
+    p_ver.add_argument("workload")
+    p_ver.add_argument("--regs", type=int, default=32)
+
+    args = parser.parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "profile": _cmd_profile,
+        "misscurve": _cmd_misscurve,
+        "demand": _cmd_demand,
+        "disasm": _cmd_disasm,
+        "verify": _cmd_verify,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Workload and mechanism analysis tools.
+
+These support (and extend) the paper's evaluation:
+
+``reusedist``
+    Mattson stack-distance analysis of the page reference stream: exact
+    LRU miss rates for *every* TLB size in one pass — the one-pass
+    generalization of Figure 6's LRU points.
+``spatial``
+    Page-footprint and same-page-burst profiling: quantifies the spatial
+    locality in simultaneous requests that piggyback ports exploit, and
+    the base-register reuse that pretranslation exploits.
+``demand``
+    Translation bandwidth-demand summaries from timing runs (the
+    measured distribution of simultaneous requests per cycle).
+"""
+
+from repro.analysis.demand import demand_profile, DemandProfile
+from repro.analysis.reusedist import StackDistanceAnalyzer, lru_miss_curve
+from repro.analysis.spatial import SpatialProfile, profile_workload
+
+__all__ = [
+    "DemandProfile",
+    "SpatialProfile",
+    "StackDistanceAnalyzer",
+    "demand_profile",
+    "lru_miss_curve",
+    "profile_workload",
+]

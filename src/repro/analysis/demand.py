@@ -1,0 +1,71 @@
+"""Translation bandwidth-demand analysis of timing runs.
+
+Summarizes the machine's measured distribution of simultaneous
+translation requests per cycle — the empirical version of the paper's
+opening claim that multiple-issue processors place "increasing bandwidth
+demands on the address translation mechanism".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.machine import SimulationResult
+
+
+@dataclass
+class DemandProfile:
+    """Distribution of simultaneous translation requests per cycle."""
+
+    name: str
+    #: requests-per-cycle -> number of cycles (cycles with 0 excluded).
+    histogram: dict
+    cycles: int
+    requests: int
+
+    @property
+    def active_cycles(self) -> int:
+        """Cycles with at least one translation request."""
+        return sum(self.histogram.values())
+
+    @property
+    def mean_per_active_cycle(self) -> float:
+        """Average simultaneous requests, over request-carrying cycles."""
+        if not self.active_cycles:
+            return 0.0
+        return (
+            sum(k * v for k, v in self.histogram.items()) / self.active_cycles
+        )
+
+    def fraction_needing_ports(self, ports: int) -> float:
+        """Fraction of active cycles demanding more than ``ports``."""
+        if not self.active_cycles:
+            return 0.0
+        over = sum(v for k, v in self.histogram.items() if k > ports)
+        return over / self.active_cycles
+
+    def render(self) -> str:
+        """Human-readable summary."""
+        lines = [f"translation demand — {self.name}"]
+        total = self.active_cycles or 1
+        for k in sorted(self.histogram):
+            frac = self.histogram[k] / total
+            bar = "#" * round(40 * frac)
+            lines.append(f"  {k} req/cycle: {frac:6.1%} {bar}")
+        lines.append(
+            f"  mean {self.mean_per_active_cycle:.2f} req per active cycle; "
+            f">{1} port needed in {self.fraction_needing_ports(1):.1%}, "
+            f">{2} in {self.fraction_needing_ports(2):.1%} of active cycles"
+        )
+        return "\n".join(lines)
+
+
+def demand_profile(result: SimulationResult) -> DemandProfile:
+    """Extract the demand profile from a finished timing run."""
+    stats = result.stats
+    return DemandProfile(
+        name=result.name,
+        histogram=dict(stats.translation_demand),
+        cycles=stats.cycles,
+        requests=stats.translation.requests,
+    )

@@ -1,0 +1,15 @@
+"""Cache models.
+
+``cache``
+    :class:`SetAssocCache` — a set-associative cache with LRU or random
+    replacement and write-back/write-allocate semantics, used for both
+    the 32 KB 2-way instruction and data caches of the paper's baseline.
+``mshr``
+    :class:`MSHRFile` — miss-status holding registers for the
+    non-blocking data cache (merges misses to the same block).
+"""
+
+from repro.caches.cache import CacheStats, SetAssocCache
+from repro.caches.mshr import MSHRFile
+
+__all__ = ["CacheStats", "SetAssocCache", "MSHRFile"]

@@ -1,0 +1,68 @@
+"""Miss-status holding registers (MSHRs) for the non-blocking data cache.
+
+The paper's data cache is non-blocking with a four-ported interface,
+"supporting one outstanding miss per physical register".  The timing
+engine models port bandwidth through the load/store functional units;
+this module models miss *merging*: a second miss to a block that is
+already being fetched does not start a new memory transaction — it
+completes when the first one does.
+"""
+
+from __future__ import annotations
+
+
+class MSHRFile:
+    """Tracks outstanding cache-block fetches.
+
+    Parameters
+    ----------
+    max_outstanding:
+        Maximum simultaneous outstanding block fetches (structural
+        limit).  The paper allows one per physical register (64); the
+        engine rarely hits this, but the limit is enforced.
+    """
+
+    def __init__(self, max_outstanding: int = 64):
+        if max_outstanding <= 0:
+            raise ValueError(f"max_outstanding must be positive: {max_outstanding}")
+        self.max_outstanding = max_outstanding
+        #: Map block number -> cycle at which the fetch completes.
+        self._pending: dict[int, int] = {}
+        self.allocations = 0
+        self.merges = 0
+
+    def lookup(self, block: int) -> int | None:
+        """Completion cycle of an in-flight fetch of ``block``, if any."""
+        return self._pending.get(block)
+
+    def allocate(self, block: int, now: int, latency: int) -> int:
+        """Record a miss to ``block``; returns the completion cycle.
+
+        If the block is already being fetched the miss merges with the
+        existing transaction.  Raises :class:`RuntimeError` when the
+        structural limit would be exceeded (callers should throttle).
+        """
+        done = self._pending.get(block)
+        if done is not None:
+            self.merges += 1
+            return done
+        if len(self._pending) >= self.max_outstanding:
+            raise RuntimeError("MSHR file full")
+        done = now + latency
+        self._pending[block] = done
+        self.allocations += 1
+        return done
+
+    def full(self) -> bool:
+        """True when no new fetch can be started."""
+        return len(self._pending) >= self.max_outstanding
+
+    def expire(self, now: int) -> None:
+        """Retire completed fetches (call once per cycle or lazily)."""
+        done = [block for block, cycle in self._pending.items() if cycle <= now]
+        for block in done:
+            del self._pending[block]
+
+    def outstanding(self) -> int:
+        """Number of in-flight block fetches."""
+        return len(self._pending)

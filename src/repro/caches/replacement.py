@@ -1,0 +1,35 @@
+"""Replacement policy helpers shared by caches and TLBs.
+
+Random replacement uses a small deterministic xorshift PRNG so that
+simulations are exactly reproducible run-to-run (the paper's base TLBs
+use random replacement; reproducibility matters more to us than entropy
+quality, and xorshift32 is plenty uniform for victim selection).
+"""
+
+from __future__ import annotations
+
+
+class XorShift32:
+    """Deterministic 32-bit xorshift PRNG."""
+
+    __slots__ = ("state",)
+
+    def __init__(self, seed: int = 0x1234_5678):
+        if seed == 0:
+            raise ValueError("xorshift seed must be non-zero")
+        self.state = seed & 0xFFFF_FFFF
+
+    def next(self) -> int:
+        """Return the next 32-bit pseudo-random value."""
+        x = self.state
+        x ^= (x << 13) & 0xFFFF_FFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFF_FFFF
+        self.state = x
+        return x
+
+    def below(self, bound: int) -> int:
+        """Return a pseudo-random integer in ``[0, bound)``."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive: {bound}")
+        return self.next() % bound

@@ -1,0 +1,18 @@
+"""Cycle-level timing engine.
+
+Implements the paper's Table 1 baseline: an 8-way superscalar machine
+with either out-of-order issue (64-entry re-order buffer, 32-entry
+load/store queue) or in-order issue, a GAp branch predictor behind a
+collapsing-buffer fetch unit, split 32 KB instruction/data caches, and a
+pluggable address-translation mechanism (:mod:`repro.tlb`).
+
+The engine is trace-driven: it consumes the dynamic instruction stream
+produced by the functional simulator (:mod:`repro.func`) and charges
+cycles.  See DESIGN.md §1 for the wrong-path substitution note.
+"""
+
+from repro.engine.config import MachineConfig
+from repro.engine.machine import Machine, SimulationResult
+from repro.engine.stats import MachineStats
+
+__all__ = ["Machine", "MachineConfig", "MachineStats", "SimulationResult"]

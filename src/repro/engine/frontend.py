@@ -1,0 +1,168 @@
+"""Fetch front end: I-cache, collapsing buffer, branch prediction.
+
+Implements the paper's fetch interface: up to eight instructions per
+cycle, all within one 32-byte instruction-cache block, with up to two
+control-transfer predictions per cycle (the limited collapsing-buffer
+variant of [CMMP95] the authors added after finding fetch bandwidth to
+be a bottleneck).  Predicted-taken branches whose target lies in the
+same cache block keep the group going; cross-block targets end it (the
+next group starts at the target next cycle, without penalty).
+
+Direction mispredictions end the group and block the front end until the
+branch resolves plus the 3-cycle misprediction penalty.  Unconditional
+jumps and returns are assumed target-predicted (ideal BTB/RAS); see
+DESIGN.md §1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.branch.predictors import BranchPredictor
+from repro.caches.cache import SetAssocCache
+from repro.engine.config import MachineConfig
+from repro.engine.stats import MachineStats
+from repro.func.dyninst import DynInst
+from repro.tlb.storage import FullyAssocTLB
+
+
+class FetchGroup:
+    """One cycle's worth of fetched instructions."""
+
+    __slots__ = ("insts", "mispredicted_tail")
+
+    def __init__(self, insts: list[DynInst], mispredicted_tail: bool):
+        #: Instructions fetched this cycle, in program order.
+        self.insts = insts
+        #: True when the last instruction is a mispredicted branch: the
+        #: machine must block the front end until it resolves.
+        self.mispredicted_tail = mispredicted_tail
+
+
+class FrontEnd:
+    """Produces fetch groups from the dynamic instruction stream."""
+
+    def __init__(
+        self,
+        trace: Iterator[DynInst],
+        config: MachineConfig,
+        predictor: BranchPredictor,
+        icache: SetAssocCache,
+        stats: MachineStats,
+    ):
+        self._trace = trace
+        self._config = config
+        self._predictor = predictor
+        self._icache = icache
+        self._stats = stats
+        self._buffer: deque[DynInst] = deque()
+        self._trace_done = False
+        self._block_shift = config.icache_block.bit_length() - 1
+        # Optional instruction-side micro-TLB: a fetch block on an
+        # untranslated page stalls the front end for a walk.
+        self._itlb = (
+            FullyAssocTLB(config.itlb_entries, replacement="lru")
+            if config.model_itlb
+            else None
+        )
+        self._page_shift = config.page_shift
+        #: Front end may not fetch again before this cycle (I-miss stall).
+        self.blocked_until = 0
+        #: Cycle at which fetch resumes after a mispredict (None = not
+        #: blocked).  Set by the machine once the branch resolves.
+        self.resume_cycle: int | None = None
+        #: True while blocked on an unresolved mispredicted branch.
+        self.waiting_on_branch = False
+
+    # -- trace buffering -------------------------------------------------------
+
+    def _ensure(self, count: int) -> bool:
+        """Buffer at least ``count`` instructions; False when exhausted."""
+        while len(self._buffer) < count and not self._trace_done:
+            try:
+                self._buffer.append(next(self._trace))
+            except StopIteration:
+                self._trace_done = True
+        return len(self._buffer) >= count
+
+    def exhausted(self) -> bool:
+        """True when no instructions remain to fetch."""
+        return not self._ensure(1)
+
+    # -- misprediction control ----------------------------------------------------
+
+    def block_for_branch(self) -> None:
+        """Stall until :meth:`resolve_branch` supplies the resume cycle."""
+        self.waiting_on_branch = True
+        self.resume_cycle = None
+
+    def resolve_branch(self, resume_cycle: int) -> None:
+        """The mispredicted branch resolved; fetch resumes then."""
+        self.resume_cycle = resume_cycle
+
+    # -- fetch -------------------------------------------------------------------------
+
+    def fetch_group(self, now: int) -> FetchGroup | None:
+        """Fetch this cycle's group, or ``None`` when stalled/empty."""
+        if self.waiting_on_branch:
+            if self.resume_cycle is None or now < self.resume_cycle:
+                self._stats.frontend_stall_cycles += 1
+                return None
+            self.waiting_on_branch = False
+            self.resume_cycle = None
+        if now < self.blocked_until:
+            self._stats.frontend_stall_cycles += 1
+            return None
+        if not self._ensure(1):
+            return None
+
+        first = self._buffer[0]
+        if self._itlb is not None:
+            vpn = first.pc >> self._page_shift
+            if not self._itlb.probe(vpn):
+                self._itlb.insert(vpn)
+                self._stats.itlb_misses += 1
+                self.blocked_until = now + self._config.tlb_miss_latency
+                self._stats.frontend_stall_cycles += 1
+                return None
+        hit = self._icache.access(first.pc)
+        if not hit:
+            self.blocked_until = now + self._config.icache_miss_latency
+            self._stats.frontend_stall_cycles += 1
+            return None
+
+        block = first.pc >> self._block_shift
+        group: list[DynInst] = []
+        predictions = 0
+        mispredicted = False
+        while len(group) < self._config.fetch_width and self._ensure(1):
+            dyn = self._buffer[0]
+            if (dyn.pc >> self._block_shift) != block:
+                break
+            self._buffer.popleft()
+            group.append(dyn)
+            dec = dyn.decoded
+            if not dec.is_control:
+                continue
+            predictions += 1
+            if dec.is_branch:
+                self._stats.branches += 1
+                predicted = self._predictor.predict(dyn.pc)
+                self._predictor.update(dyn.pc, dyn.taken)
+                if predicted != dyn.taken:
+                    self._stats.mispredicts += 1
+                    mispredicted = True
+                    break
+            else:
+                self._stats.jumps += 1
+            if dyn.taken:
+                # Taken transfer: only an intra-block target lets the
+                # collapsing buffer keep fetching this cycle.
+                if not self._ensure(1):
+                    break
+                if (self._buffer[0].pc >> self._block_shift) != block:
+                    break
+            if predictions >= self._config.predictions_per_cycle:
+                break
+        return FetchGroup(group, mispredicted)

@@ -1,0 +1,85 @@
+"""Functional-unit pool scheduling.
+
+Each unit class has a number of units, a result latency, and an issue
+interval (how long an issue occupies a unit).  Fully-pipelined units have
+interval 1; the divide units occupy their unit for the full operation
+(interval == latency), matching Table 1's ``DIV-12/12``.
+"""
+
+from __future__ import annotations
+
+from repro.engine.config import MachineConfig
+from repro.isa.opcodes import Op, OpClass
+
+#: OpClass -> functional-unit class name.
+_UNIT_OF_CLASS = {
+    OpClass.IALU: "ialu",
+    OpClass.BRANCH: "ialu",
+    OpClass.JUMP: "ialu",
+    OpClass.NOP: "ialu",
+    OpClass.HALT: "ialu",
+    OpClass.LOAD: "ldst",
+    OpClass.STORE: "ldst",
+    OpClass.FPADD: "fpadd",
+    OpClass.IMULT: "imuldiv",
+    OpClass.IDIV: "imuldiv",
+    OpClass.FPMULT: "fpmuldiv",
+    OpClass.FPDIV: "fpmuldiv",
+}
+
+
+class FunctionalUnitPool:
+    """Tracks per-unit busy times and answers issue queries."""
+
+    def __init__(self, config: MachineConfig):
+        self._free_at: dict[str, list[int]] = {
+            name: [0] * spec.units for name, spec in config.fu_specs.items()
+        }
+        self._latency: dict[str, int] = {
+            name: spec.latency for name, spec in config.fu_specs.items()
+        }
+        self._interval: dict[str, int] = {
+            name: spec.interval for name, spec in config.fu_specs.items()
+        }
+        self._div_latency = {
+            "idiv": config.int_div_latency,
+            "fpdiv": config.fp_div_latency,
+        }
+
+    @staticmethod
+    def unit_class(op_class: OpClass) -> str:
+        """Functional-unit class name for an opcode class."""
+        return _UNIT_OF_CLASS[op_class]
+
+    def latency_of(self, op_class: OpClass) -> int:
+        """Result latency of an operation."""
+        if op_class is OpClass.IDIV:
+            return self._div_latency["idiv"]
+        if op_class is OpClass.FPDIV:
+            return self._div_latency["fpdiv"]
+        return self._latency[_UNIT_OF_CLASS[op_class]]
+
+    def can_issue(self, op_class: OpClass, now: int) -> bool:
+        """True if a unit of the required class is free this cycle."""
+        free_at = self._free_at[_UNIT_OF_CLASS[op_class]]
+        return any(cycle <= now for cycle in free_at)
+
+    def issue(self, op_class: OpClass, now: int) -> int:
+        """Occupy a unit; returns the result-ready cycle.
+
+        Raises :class:`RuntimeError` if no unit is free (callers must
+        check :meth:`can_issue` first).
+        """
+        name = _UNIT_OF_CLASS[op_class]
+        free_at = self._free_at[name]
+        for i, cycle in enumerate(free_at):
+            if cycle <= now:
+                if op_class is OpClass.IDIV:
+                    busy, latency = self._div_latency["idiv"], self._div_latency["idiv"]
+                elif op_class is OpClass.FPDIV:
+                    busy, latency = self._div_latency["fpdiv"], self._div_latency["fpdiv"]
+                else:
+                    busy, latency = self._interval[name], self._latency[name]
+                free_at[i] = now + busy
+                return now + latency
+        raise RuntimeError(f"no free {name} unit at cycle {now}")

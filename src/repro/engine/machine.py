@@ -1,0 +1,616 @@
+"""The cycle-level machine: dispatch, issue, memory pipeline, commit.
+
+Per-cycle phase order::
+
+    commit -> TLB-miss service -> issue (address generation, requests)
+           -> translation tick -> dispatch/fetch
+
+Key timing rules (paper §4.1 / Table 1):
+
+* TLB access is fully overlapped with data-cache access — a request
+  granted a port in its submission cycle with a TLB hit adds zero
+  latency; queueing for a port adds the queueing delay.
+* A base-TLB miss costs a fixed 30 cycles, charged after all
+  earlier-issued instructions complete, and instruction dispatch stalls
+  until the missing instruction commits (the paper's rule for
+  speculative TLB misses).
+* Loads may issue only when every earlier store's address is known
+  (i.e. every earlier store has issued); stores write the data cache at
+  commit.
+* The out-of-order model issues any ready instruction in the 64-entry
+  window; the in-order model issues strictly in program order, stalling
+  on RAW and WAW hazards (no renaming), with out-of-order completion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.branch.predictors import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    GApPredictor,
+    GSharePredictor,
+    TournamentPredictor,
+)
+from repro.caches.cache import SetAssocCache
+from repro.caches.mshr import MSHRFile
+from repro.caches.replacement import XorShift32
+from repro.engine.config import MachineConfig
+from repro.engine.frontend import FrontEnd
+from repro.engine.funits import FunctionalUnitPool
+from repro.engine.stats import MachineStats
+from repro.func.dyninst import DecodedInst, DynInst
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Op, OpClass, op_class
+from repro.tlb.base import TranslationMechanism
+from repro.tlb.request import TranslationRequest, TranslationResult
+
+
+# Synthetic wrong-path instruction templates (no register effects: the
+# first-order cost of wrong-path execution is bandwidth, not dataflow).
+_WP_ALU = DecodedInst(-1, Instruction(Op.ADD), op_class(Op.ADD))
+_WP_LOAD = DecodedInst(-1, Instruction(Op.LW), op_class(Op.LW))
+_WP_STORE = DecodedInst(-1, Instruction(Op.SW), op_class(Op.SW))
+
+
+def _make_predictor(config: MachineConfig):
+    """Instantiate the configured direction predictor."""
+    if config.predictor == "gap":
+        return GApPredictor(
+            config.predictor_history_bits, config.predictor_pht_entries
+        )
+    if config.predictor == "gshare":
+        return GSharePredictor(pht_entries=config.predictor_pht_entries)
+    if config.predictor == "bimodal":
+        return BimodalPredictor(config.predictor_pht_entries)
+    if config.predictor == "tournament":
+        return TournamentPredictor(config.predictor_pht_entries)
+    return AlwaysTakenPredictor()
+
+
+class _InFlight:
+    """One window (ROB) entry."""
+
+    __slots__ = (
+        "dyn",
+        "seq",
+        "addr_waits",
+        "data_waits",
+        "issued",
+        "issue_cycle",
+        "complete",
+        "is_load",
+        "is_store",
+        "is_mem",
+        "cache_done",
+        "trans_done",
+        "trans_base",
+        "tlb_waiting",
+        "depends_host",
+        "mispredicted",
+        "wrong_path",
+    )
+
+    def __init__(
+        self,
+        dyn: DynInst,
+        seq: int,
+        addr_waits: tuple,
+        data_waits: tuple,
+        mispredicted: bool,
+        wrong_path: bool = False,
+    ):
+        self.dyn = dyn
+        #: Machine-assigned window sequence number (monotone dispatch
+        #: order; distinct from dyn.seq once wrong-path slots interleave).
+        self.seq = seq
+        #: Producers of address operands (all operands for non-stores).
+        self.addr_waits = addr_waits
+        #: Producers of a store's data operand (empty for non-stores).
+        self.data_waits = data_waits
+        self.issued = False
+        self.issue_cycle = -1
+        #: Cycle the instruction's result is available (None = unknown).
+        self.complete: int | None = None
+        dec = dyn.decoded
+        self.is_load = dec.is_load
+        self.is_store = dec.is_store
+        self.is_mem = dec.is_mem
+        #: Cache-path completion for loads (set at issue).
+        self.cache_done: int | None = None
+        #: Cycle the translation is available (set when resolved).
+        self.trans_done: int | None = None
+        #: Mechanism-level ready cycle of a missed translation.
+        self.trans_base = -1
+        #: True while awaiting the 30-cycle miss service.
+        self.tlb_waiting = False
+        #: seq of the piggyback host whose walk this rider shares.
+        self.depends_host: int | None = None
+        self.mispredicted = mispredicted
+        #: True for synthetic wrong-path instructions (squashed, never
+        #: committed).
+        self.wrong_path = wrong_path
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one timing run."""
+
+    name: str
+    stats: MachineStats
+    config: MachineConfig
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def ipc(self) -> float:
+        """Committed IPC."""
+        return self.stats.commit_ipc
+
+
+class Machine:
+    """Trace-driven cycle-level simulator of the Table 1 baseline."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        mechanism: TranslationMechanism,
+        trace: Iterator[DynInst],
+        name: str = "run",
+    ):
+        if mechanism.page_shift != config.page_shift:
+            raise ValueError(
+                f"mechanism page shift {mechanism.page_shift} != "
+                f"machine page shift {config.page_shift}"
+            )
+        self.config = config
+        self.mech = mechanism
+        self.name = name
+        self.stats = MachineStats()
+        self.icache = SetAssocCache(
+            config.icache_size, config.icache_assoc, config.icache_block
+        )
+        self.dcache = SetAssocCache(
+            config.dcache_size, config.dcache_assoc, config.dcache_block
+        )
+        self.mshr = MSHRFile(config.dcache_mshrs)
+        self.predictor = _make_predictor(config)
+        self.frontend = FrontEnd(trace, config, self.predictor, self.icache, self.stats)
+        self.fupool = FunctionalUnitPool(config)
+        self._page_shift = config.page_shift
+        self._window: deque[_InFlight] = deque()
+        self._fetch_queue: deque[DynInst] = deque()
+        self._mispredict_seqs: set[int] = set()
+        self._by_seq: dict[int, _InFlight] = {}
+        self._riders: dict[int, list[_InFlight]] = {}
+        self._last_writer: dict[int, _InFlight] = {}
+        self._lsq_count = 0
+        self._tlb_blockers: set[int] = set()
+        self._stores_awaiting_data: list[_InFlight] = []
+        self._mem_issues_this_cycle = 0
+        self._next_seq = 0
+        self._wp_branch: _InFlight | None = None
+        self._wp_rng = XorShift32(0x57A7)
+        self._recent_eas: deque[int] = deque(maxlen=16)
+        self._ldst_latency = config.fu_specs["ldst"].latency
+        self._inorder = config.issue_model == "inorder"
+        self._next_flush = (
+            config.context_switch_interval if config.context_switch_interval else 0
+        )
+
+    # -- top level --------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Simulate until the trace drains; returns the result record."""
+        now = 0
+        max_cycles = self.config.max_cycles
+        while True:
+            if self._next_flush and now >= self._next_flush:
+                # Context switch: all cached translations invalidated.
+                self.mech.flush()
+                self.stats.context_switches += 1
+                self._next_flush = now + self.config.context_switch_interval
+            self._squash_wrong_path(now)
+            self._commit(now)
+            self.mshr.expire(now)
+            self._complete_ready_stores()
+            self._service_tlb_miss(now)
+            self._issue(now)
+            for result in self.mech.tick(now):
+                self._apply_translation(result, now)
+            self._dispatch(now)
+            now += 1
+            if max_cycles and now >= max_cycles:
+                raise RuntimeError(f"simulation exceeded {max_cycles} cycles")
+            if (
+                not self._window
+                and not self._fetch_queue
+                and self.frontend.exhausted()
+            ):
+                break
+        self.stats.cycles = now
+        self.stats.icache = self.icache.stats
+        self.stats.dcache = self.dcache.stats
+        self.stats.translation = self.mech.stats
+        return SimulationResult(self.name, self.stats, self.config)
+
+    # -- wrong-path execution -----------------------------------------------------
+
+    def _squash_wrong_path(self, now: int) -> None:
+        """Squash the wrong-path tail once its branch has resolved."""
+        branch = self._wp_branch
+        if branch is None or branch.complete is None or branch.complete > now:
+            return
+        self._wp_branch = None
+        window = self._window
+        while window and window[-1].wrong_path:
+            infl = window.pop()
+            if infl.is_mem:
+                self._lsq_count -= 1
+            self._tlb_blockers.discard(infl.seq)
+            self._by_seq.pop(infl.seq, None)
+            # A correct-path rider piggybacked on a squashed host would
+            # otherwise wait forever; complete it with the squash.
+            for rider in self._riders.pop(infl.seq, ()):
+                if rider.trans_done is None:
+                    rider.trans_done = now
+                    rider.tlb_waiting = False
+                    self._finalize_mem(rider)
+
+    def _dispatch_wrong_path(self, now: int) -> None:
+        """Fill dispatch slots with synthetic wrong-path instructions."""
+        window = self._window
+        rob = self.config.rob_entries
+        lsq = self.config.lsq_entries
+        rng = self._wp_rng
+        load_pct = self.config.wrong_path_load_pct
+        store_pct = self.config.wrong_path_store_pct
+        count = 0
+        # Wrong-path fetch sustains roughly half the peak width: taken
+        # branches and block breaks on the bogus path throttle it just
+        # as they do on the correct path.
+        budget = max(1, self.config.fetch_width // 2)
+        while count < budget and len(window) < rob:
+            roll = rng.below(100)
+            if roll < load_pct and self._recent_eas:
+                decoded, is_mem = _WP_LOAD, True
+            elif roll < load_pct + store_pct and self._recent_eas:
+                decoded, is_mem = _WP_STORE, True
+            else:
+                decoded, is_mem = _WP_ALU, False
+            if is_mem and self._lsq_count >= lsq:
+                decoded, is_mem = _WP_ALU, False
+            ea = None
+            if is_mem:
+                # Wrong paths touch data near what the code just touched:
+                # a recent effective address perturbed within its page.
+                base = self._recent_eas[rng.below(len(self._recent_eas))]
+                ea = (base & ~0xFF) + 4 * rng.below(64)
+            dyn = DynInst(-1, decoded, pc=0, ea=ea)
+            seq = self._next_seq
+            self._next_seq += 1
+            infl = _InFlight(dyn, seq, (), (), False, wrong_path=True)
+            if is_mem:
+                self._lsq_count += 1
+            window.append(infl)
+            self._by_seq[seq] = infl
+            count += 1
+
+    # -- commit -----------------------------------------------------------------
+
+    def _commit(self, now: int) -> None:
+        window = self._window
+        count = 0
+        width = self.config.commit_width
+        while window and count < width:
+            head = window[0]
+            if head.complete is None or head.complete > now:
+                break
+            window.popleft()
+            count += 1
+            self.stats.committed += 1
+            if head.is_mem:
+                self._lsq_count -= 1
+                if head.is_store:
+                    self.stats.stores += 1
+                    # Committed stores write the data cache.
+                    self.dcache.access(head.dyn.ea, write=True)
+                else:
+                    self.stats.loads += 1
+            self._tlb_blockers.discard(head.seq)
+            self._by_seq.pop(head.seq, None)
+
+    # -- TLB miss service ---------------------------------------------------------
+
+    def _service_tlb_miss(self, now: int) -> None:
+        """Start the 30-cycle walk once the missing inst is oldest incomplete."""
+        for infl in self._window:
+            if infl.complete is not None and infl.complete <= now:
+                continue
+            # ``infl`` is the oldest incomplete instruction.
+            if infl.tlb_waiting and infl.depends_host is None and not infl.wrong_path:
+                infl.trans_done = max(now, infl.trans_base) + self.config.tlb_miss_latency
+                infl.tlb_waiting = False
+                self.stats.tlb_miss_services += 1
+                self._finalize_mem(infl)
+                self._complete_riders(infl)
+            break
+
+    def _complete_riders(self, host: _InFlight) -> None:
+        for rider in self._riders.pop(host.seq, ()):
+            rider.trans_done = host.trans_done
+            rider.tlb_waiting = False
+            self._finalize_mem(rider)
+
+    # -- issue ------------------------------------------------------------------------
+
+    def _issue(self, now: int) -> None:
+        issued = 0
+        width = self.config.issue_width
+        store_pending = False
+        self._mem_issues_this_cycle = 0
+        pending_dests: set[int] | None = set() if self._inorder else None
+        for infl in self._window:
+            if infl.issued:
+                if self._inorder and (infl.complete is None or infl.complete > now):
+                    pending_dests.update(infl.dyn.decoded.dests)
+                continue
+            if issued >= width:
+                if self._inorder:
+                    break
+                if infl.is_store:
+                    store_pending = True
+                continue
+            ok = self._can_issue(infl, now, store_pending, pending_dests)
+            if ok:
+                self._do_issue(infl, now)
+                issued += 1
+                if self._inorder and (infl.complete is None or infl.complete > now):
+                    pending_dests.update(infl.dyn.decoded.dests)
+            else:
+                if self._inorder:
+                    break
+                if infl.is_store:
+                    store_pending = True
+        self.stats.issued += issued
+        if self._mem_issues_this_cycle:
+            # Histogram of simultaneous translation requests per cycle:
+            # the bandwidth-demand evidence behind the paper's Section 2.
+            demand = self.stats.translation_demand
+            bucket = self._mem_issues_this_cycle
+            demand[bucket] = demand.get(bucket, 0) + 1
+
+    def _can_issue(
+        self,
+        infl: _InFlight,
+        now: int,
+        store_pending: bool,
+        pending_dests: set[int] | None,
+    ) -> bool:
+        if infl.is_load and store_pending:
+            return False  # an earlier store address is still unknown
+        for writer in infl.addr_waits:
+            if writer.complete is None or writer.complete > now:
+                return False
+        if self._inorder:
+            # No renaming: the in-order model stalls on the store data
+            # hazard too ("stalls whenever any data hazard occurs").
+            for writer in infl.data_waits:
+                if writer.complete is None or writer.complete > now:
+                    return False
+        if pending_dests is not None:
+            # In-order model: WAW hazard against incomplete instructions.
+            if any(d in pending_dests for d in infl.dyn.decoded.dests):
+                return False
+        dec = infl.dyn.decoded
+        if not self.fupool.can_issue(dec.op_class, now):
+            return False
+        if infl.is_load:
+            # Structural check: a load that will miss needs an MSHR.
+            ea = infl.dyn.ea
+            if not self.dcache.probe(ea):
+                block = self.dcache.block_of(ea)
+                if self.mshr.lookup(block) is None and self.mshr.full():
+                    return False
+        return True
+
+    def _do_issue(self, infl: _InFlight, now: int) -> None:
+        dec = infl.dyn.decoded
+        ready = self.fupool.issue(dec.op_class, now)
+        infl.issued = True
+        infl.issue_cycle = now
+        if infl.is_mem:
+            self._issue_memory(infl, now)
+        else:
+            infl.complete = ready
+            if infl.mispredicted:
+                # The branch resolves at completion; fetch resumes after
+                # the misprediction penalty.
+                self.frontend.resolve_branch(ready + self.config.mispredict_penalty)
+
+    def _forwarding_store(self, load: _InFlight, now: int) -> _InFlight | None:
+        """Youngest earlier store to the same word with its data ready.
+
+        Paper: loads' "values come from a matching earlier store in the
+        store queue or from the data cache".  Forwarding needs the
+        store's data, so an address-matching store whose value is still
+        in flight does not forward (the load takes the cache path and
+        its result is correct because the functional simulator already
+        resolved memory order).
+        """
+        ea_word = load.dyn.ea & ~3
+        best = None
+        for infl in self._window:
+            if infl.seq >= load.seq:
+                break
+            if not infl.is_store or not infl.issued:
+                continue
+            if (infl.dyn.ea & ~3) == ea_word:
+                best = infl
+        if best is None:
+            return None
+        for writer in best.data_waits:
+            if writer.complete is None or writer.complete > now:
+                return None
+        return best
+
+    def _issue_memory(self, infl: _InFlight, now: int) -> None:
+        dyn = infl.dyn
+        dec = dyn.decoded
+        ea = dyn.ea
+        self._mem_issues_this_cycle += 1
+        if not infl.wrong_path:
+            self._recent_eas.append(ea)
+        if infl.is_load:
+            if self._forwarding_store(infl, now) is not None:
+                # Store-to-load forwarding: data comes from the store
+                # queue in a single cycle; no cache access.
+                self.stats.forwarded_loads += 1
+                infl.cache_done = now + 1
+            elif self.dcache.access(ea):
+                infl.cache_done = now + self._ldst_latency
+            else:
+                block = self.dcache.block_of(ea)
+                self.mshr.expire(now)
+                fill_done = self.mshr.allocate(block, now, self.config.dcache_miss_latency)
+                infl.cache_done = fill_done + self._ldst_latency
+        req = TranslationRequest(
+            seq=infl.seq,
+            vpn=ea >> self._page_shift,
+            cycle=now,
+            is_write=infl.is_store,
+            is_load=infl.is_load,
+            base_reg=dec.base_reg,
+            offset=dec.offset,
+        )
+        result = self.mech.request(req)
+        if result is not None:
+            self._apply_translation(result, now)
+
+    # -- translation results ---------------------------------------------------------
+
+    def _apply_translation(self, result: TranslationResult, now: int) -> None:
+        infl = self._by_seq.get(result.req.seq)
+        if infl is None:
+            return  # request outlived its instruction (cannot happen on
+            # the correct path, but stay robust)
+        if result.tlb_miss:
+            infl.tlb_waiting = True
+            infl.trans_base = result.ready
+            infl.depends_host = result.depends_on
+            self._tlb_blockers.add(infl.seq)
+            if result.depends_on is not None:
+                host = self._by_seq.get(result.depends_on)
+                if host is not None and host.trans_done is None:
+                    self._riders.setdefault(result.depends_on, []).append(infl)
+                else:
+                    # Host already serviced (or gone): ride its result.
+                    done = host.trans_done if host is not None else max(now, result.ready)
+                    infl.trans_done = done
+                    infl.tlb_waiting = False
+                    self._finalize_mem(infl)
+        else:
+            infl.trans_done = result.ready
+            self._finalize_mem(infl)
+
+    def _finalize_mem(self, infl: _InFlight) -> None:
+        """Set completion once both cache path and translation are known."""
+        if infl.trans_done is None:
+            return
+        if infl.is_load:
+            # Translation stall beyond the overlapped path adds directly.
+            stall = infl.trans_done - infl.issue_cycle
+            infl.complete = infl.cache_done + stall
+        else:
+            self._try_complete_store(infl)
+
+    def _try_complete_store(self, infl: _InFlight) -> None:
+        """A store completes when its address, translation and data are in."""
+        data_ready = infl.issue_cycle
+        for writer in infl.data_waits:
+            if writer.complete is None:
+                # Data producer not yet scheduled: re-check each cycle.
+                self._stores_awaiting_data.append(infl)
+                return
+            if writer.complete > data_ready:
+                data_ready = writer.complete
+        infl.complete = max(infl.issue_cycle + 1, infl.trans_done + 1, data_ready)
+
+    def _complete_ready_stores(self) -> None:
+        if not self._stores_awaiting_data:
+            return
+        pending = self._stores_awaiting_data
+        self._stores_awaiting_data = []
+        for infl in pending:
+            if infl.complete is None:
+                self._try_complete_store(infl)
+
+    # -- dispatch / fetch -----------------------------------------------------------------
+
+    def _dispatch(self, now: int) -> None:
+        if self._tlb_blockers:
+            self.stats.tlb_dispatch_stall_cycles += 1
+            return
+        queue = self._fetch_queue
+        if len(queue) <= self.config.fetch_width:
+            group = self.frontend.fetch_group(now)
+            if group is not None and group.insts:
+                queue.extend(group.insts)
+                if group.mispredicted_tail:
+                    self._mispredict_seqs.add(group.insts[-1].seq)
+                    self.frontend.block_for_branch()
+        window = self._window
+        rob = self.config.rob_entries
+        lsq = self.config.lsq_entries
+        count = 0
+        width = self.config.fetch_width
+        needs_reg_events = self.mech.needs_register_events
+        while queue and count < width:
+            dyn = queue[0]
+            dec = dyn.decoded
+            if len(window) >= rob:
+                break
+            if dec.is_mem and self._lsq_count >= lsq:
+                break
+            queue.popleft()
+            count += 1
+            addr_waits = tuple(
+                w
+                for w in (self._last_writer.get(s) for s in dec.addr_srcs)
+                if w is not None
+            )
+            data_waits = tuple(
+                w
+                for w in (self._last_writer.get(s) for s in dec.data_srcs)
+                if w is not None
+            )
+            mispredicted = dyn.seq in self._mispredict_seqs
+            if mispredicted:
+                self._mispredict_seqs.discard(dyn.seq)
+            seq = self._next_seq
+            self._next_seq += 1
+            infl = _InFlight(dyn, seq, addr_waits, data_waits, mispredicted)
+            if mispredicted and self.config.model_wrong_path:
+                self._wp_branch = infl
+            if needs_reg_events and dec.dests and not dec.is_load:
+                # Decode-order register events for pretranslation.
+                self.mech.on_register_write(dec.dests, dec.srcs)
+            for d in dec.dests:
+                self._last_writer[d] = infl
+            if dec.is_mem:
+                self._lsq_count += 1
+            window.append(infl)
+            self._by_seq[seq] = infl
+        if (
+            self._wp_branch is not None
+            and self.config.model_wrong_path
+            and not queue
+            and count < width
+        ):
+            # The front end is fetching down the wrong path.
+            self._dispatch_wrong_path(now)

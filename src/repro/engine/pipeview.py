@@ -1,0 +1,128 @@
+"""Pipeline event tracing and ASCII pipeline diagrams.
+
+Wraps a :class:`~repro.engine.machine.Machine` run and records, per
+dynamic instruction, the cycles at which it was dispatched, issued,
+completed, and committed — then renders the classic pipeline diagram
+(one row per instruction, one column per cycle).  Useful for verifying
+timing behaviour by eye and in tests, e.g. *seeing* four loads stall on
+a single-ported TLB.
+
+Example::
+
+    view = PipelineTrace.capture(config, mechanism, trace, limit=40)
+    print(view.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.engine.config import MachineConfig
+from repro.engine.machine import Machine, SimulationResult
+from repro.func.dyninst import DynInst
+from repro.tlb.base import TranslationMechanism
+
+
+@dataclass
+class InstTimeline:
+    """Stage timestamps of one dynamic instruction."""
+
+    seq: int
+    text: str
+    dispatch: int = -1
+    issue: int = -1
+    complete: int = -1
+    commit: int = -1
+
+
+class _TracingMachine(Machine):
+    """Machine subclass that records stage events for the first N insts."""
+
+    def __init__(self, *args, limit: int = 64, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._limit = limit
+        self.timelines: dict[int, InstTimeline] = {}
+
+    def _dispatch(self, now: int) -> None:
+        before = {infl.seq for infl in self._window}
+        super()._dispatch(now)
+        for infl in self._window:
+            if infl.seq in before or infl.seq >= self._limit:
+                continue
+            self.timelines[infl.seq] = InstTimeline(
+                seq=infl.seq, text=str(infl.dyn.decoded.inst), dispatch=now
+            )
+
+    def _do_issue(self, infl, now: int) -> None:
+        super()._do_issue(infl, now)
+        timeline = self.timelines.get(infl.seq)
+        if timeline is not None:
+            timeline.issue = now
+
+    def _commit(self, now: int) -> None:
+        live_before = list(self._window)
+        super()._commit(now)
+        still = {infl.seq for infl in self._window}
+        for infl in live_before:
+            if infl.seq in still:
+                break
+            timeline = self.timelines.get(infl.seq)
+            if timeline is not None:
+                timeline.commit = now
+                timeline.complete = infl.complete if infl.complete is not None else now
+
+
+@dataclass
+class PipelineTrace:
+    """Captured stage timelines plus the run's result."""
+
+    timelines: list[InstTimeline]
+    result: SimulationResult
+
+    @classmethod
+    def capture(
+        cls,
+        config: MachineConfig,
+        mechanism: TranslationMechanism,
+        trace: Iterator[DynInst],
+        limit: int = 64,
+    ) -> "PipelineTrace":
+        """Run the machine, recording the first ``limit`` instructions."""
+        machine = _TracingMachine(config, mechanism, trace, limit=limit)
+        result = machine.run()
+        ordered = [machine.timelines[k] for k in sorted(machine.timelines)]
+        return cls(timelines=ordered, result=result)
+
+    def render(self, max_cycles: int = 90) -> str:
+        """ASCII pipeline diagram: D=dispatch, I=issue, C=complete, R=retire."""
+        if not self.timelines:
+            return "(no instructions captured)"
+        start = min(t.dispatch for t in self.timelines if t.dispatch >= 0)
+        lines = []
+        width = max(len(t.text) for t in self.timelines)
+        for t in self.timelines:
+            end = max(t.commit, t.complete, t.issue, t.dispatch)
+            row = []
+            for cycle in range(start, min(start + max_cycles, end + 1)):
+                if cycle == t.commit:
+                    mark = "R"
+                elif cycle == t.complete:
+                    mark = "C"
+                elif cycle == t.issue:
+                    mark = "I"
+                elif cycle == t.dispatch:
+                    mark = "D"
+                else:
+                    mark = "."
+                row.append(mark)
+            lines.append(f"{t.seq:4d} {t.text:<{width}s} |{''.join(row)}")
+        header = f"     {'(cycle ->)':<{width}s} |{start}"
+        return "\n".join([header, *lines])
+
+    def of(self, seq: int) -> InstTimeline:
+        """Timeline of one instruction (by dynamic sequence number)."""
+        for t in self.timelines:
+            if t.seq == seq:
+                return t
+        raise KeyError(f"instruction #{seq} was not captured")

@@ -1,0 +1,68 @@
+"""Machine-level statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.caches.cache import CacheStats
+from repro.tlb.stats import TranslationStats
+
+
+@dataclass
+class MachineStats:
+    """Counters accumulated over one timing simulation."""
+
+    cycles: int = 0
+    committed: int = 0
+    issued: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    #: Dynamic unconditional jumps (always predicted in this model).
+    jumps: int = 0
+    #: Base-TLB miss services performed (each costs 30 cycles + ordering).
+    tlb_miss_services: int = 0
+    #: Cycles in which dispatch was blocked by a pending TLB miss.
+    tlb_dispatch_stall_cycles: int = 0
+    #: Cycles in which the front end was blocked (mispredict or I-miss).
+    frontend_stall_cycles: int = 0
+    #: Loads satisfied by store-to-load forwarding from the store queue.
+    forwarded_loads: int = 0
+    #: Instruction-side micro-TLB misses (when model_itlb is enabled).
+    itlb_misses: int = 0
+    #: Context-switch flushes applied (context_switch_interval > 0).
+    context_switches: int = 0
+    #: Histogram: simultaneous translation requests per cycle -> cycles.
+    translation_demand: dict = field(default_factory=dict)
+    icache: CacheStats = field(default_factory=CacheStats)
+    dcache: CacheStats = field(default_factory=CacheStats)
+    translation: TranslationStats = field(default_factory=TranslationStats)
+
+    @property
+    def commit_ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def issue_ipc(self) -> float:
+        """Issued operations per cycle, *including* wrong-path issues.
+
+        With wrong-path modelling enabled (the default, as in the
+        paper's execution-driven simulator) this exceeds commit IPC on
+        branchy programs; with ``model_wrong_path=False`` the two are
+        equal.
+        """
+        return self.issued / self.cycles if self.cycles else 0.0
+
+    @property
+    def branch_prediction_rate(self) -> float:
+        """Fraction of conditional branches predicted correctly."""
+        if not self.branches:
+            return 0.0
+        return 1.0 - self.mispredicts / self.branches
+
+    @property
+    def mem_refs_per_cycle(self) -> float:
+        """Loads+stores committed per cycle."""
+        return (self.loads + self.stores) / self.cycles if self.cycles else 0.0

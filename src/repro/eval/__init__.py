@@ -1,0 +1,40 @@
+"""Evaluation harness: regenerates every table and figure of Section 4.
+
+* :mod:`repro.eval.runner` — single timing runs with build caching;
+* :mod:`repro.eval.weighting` — run-time-weighted averaging (the paper's
+  aggregation: IPCs weighted by each benchmark's T4 run time, normalized
+  to T4);
+* :mod:`repro.eval.experiments` — Table 3 and Figures 5/7/8/9 drivers;
+* :mod:`repro.eval.missrates` — Figure 6 (trace-driven TLB miss rates);
+* :mod:`repro.eval.sensitivity` — ablation sweeps of the design knobs;
+* :mod:`repro.eval.export` — CSV/JSON serialization of results;
+* :mod:`repro.eval.report` — ASCII tables matching the paper's layout.
+
+Run ``python -m repro.eval <experiment>`` to regenerate one experiment
+(``table3``, ``figure5`` ... ``figure9``), or ``python -m repro.eval
+scorecard`` to evaluate every encoded paper claim (:mod:`repro.eval.claims`)
+against fresh simulations.
+"""
+
+from repro.eval.experiments import (
+    ExperimentSpec,
+    EXPERIMENTS,
+    run_experiment,
+    run_figure,
+    run_table3,
+)
+from repro.eval.missrates import run_figure6
+from repro.eval.runner import RunRequest, run_one
+from repro.eval.weighting import normalized_rtw_average
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "RunRequest",
+    "normalized_rtw_average",
+    "run_experiment",
+    "run_figure",
+    "run_figure6",
+    "run_one",
+    "run_table3",
+]

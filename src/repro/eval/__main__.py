@@ -1,0 +1,89 @@
+"""CLI: regenerate one of the paper's experiments.
+
+Usage::
+
+    python -m repro.eval table3 [--insts N]
+    python -m repro.eval figure5 [--insts N] [--designs T4,T1,M8]
+    python -m repro.eval figure6 [--insts N]
+    python -m repro.eval figure7|figure8|figure9 ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.eval.experiments import EXPERIMENTS, run_figure, run_table3
+from repro.eval.missrates import run_figure6
+from repro.eval.report import render_figure, render_figure6, render_table3
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate a table/figure from Austin & Sohi (ISCA '96).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "table3",
+            "figure5",
+            "figure6",
+            "figure7",
+            "figure8",
+            "figure9",
+            "scorecard",
+        ],
+    )
+    parser.add_argument(
+        "--insts",
+        type=int,
+        default=60_000,
+        help="dynamic instruction budget per run (default 60000)",
+    )
+    parser.add_argument(
+        "--designs",
+        default=None,
+        help="comma-separated design subset (default: all of Table 2)",
+    )
+    parser.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated workload subset (default: all ten)",
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    args = parser.parse_args(argv)
+
+    workloads = args.workloads.split(",") if args.workloads else None
+    progress = None if args.quiet else lambda msg: print(f"  .. {msg}", file=sys.stderr)
+
+    started = time.time()
+    if args.experiment == "scorecard":
+        from repro.eval.claims import run_scorecard
+
+        result = run_scorecard(
+            max_instructions=args.insts, workloads=workloads, progress=progress
+        )
+        print(result.render())
+    elif args.experiment == "table3":
+        print(render_table3(run_table3(workloads=workloads, max_instructions=args.insts)))
+    elif args.experiment == "figure6":
+        print(
+            render_figure6(
+                run_figure6(workloads=workloads, max_instructions=max(args.insts, 120_000))
+            )
+        )
+    else:
+        designs = args.designs.split(",") if args.designs else None
+        kwargs = dict(workloads=workloads, max_instructions=args.insts, progress=progress)
+        if designs is not None:
+            kwargs["designs"] = designs
+        result = run_figure(args.experiment, **kwargs)
+        print(render_figure(result))
+    print(f"\n[{args.experiment} regenerated in {time.time() - started:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""Machine-readable export of experiment results (CSV and JSON).
+
+The report module renders for humans; this one serializes the same data
+for plotting scripts and regression tracking.  Layouts:
+
+* figures: long-form rows ``design, workload, ipc, cycles, relative``;
+* table 3: one row per program;
+* figure 6: one row per (program, tlb_size).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any
+
+from repro.eval.experiments import FigureResult, Table3Row
+from repro.eval.missrates import Figure6Result
+
+
+def figure_rows(result: FigureResult) -> list[dict[str, Any]]:
+    """Long-form records for a relative-performance figure."""
+    rows = []
+    for design in result.designs:
+        per_rel = result.per_workload_relative(design)
+        for workload in result.workloads:
+            run = result.results[design][workload]
+            rows.append(
+                {
+                    "experiment": result.spec.key,
+                    "design": design,
+                    "workload": workload,
+                    "cycles": run.cycles,
+                    "ipc": round(run.ipc, 6),
+                    "relative_ipc": round(per_rel[workload], 6),
+                    "shielded_fraction": round(
+                        run.stats.translation.shielded_fraction, 6
+                    ),
+                    "port_stall_cycles": run.stats.translation.port_stall_cycles,
+                    "tlb_walks": run.stats.tlb_miss_services,
+                }
+            )
+    return rows
+
+
+def table3_rows(rows: list[Table3Row]) -> list[dict[str, Any]]:
+    """Records for the Table 3 analogue."""
+    return [
+        {
+            "program": r.program,
+            "instructions": r.instructions,
+            "loads": r.loads,
+            "stores": r.stores,
+            "issue_ipc": round(r.issue_ipc, 6),
+            "commit_ipc": round(r.commit_ipc, 6),
+            "refs_per_cycle": round(r.refs_per_cycle, 6),
+            "branch_prediction_rate": round(r.branch_prediction_rate, 6),
+        }
+        for r in rows
+    ]
+
+
+def figure6_rows(result: Figure6Result) -> list[dict[str, Any]]:
+    """Records for the miss-rate sweep (plus the RTW average rows)."""
+    out = []
+    for row in result.rows:
+        for size in result.sizes:
+            out.append(
+                {
+                    "program": row.program,
+                    "tlb_entries": size,
+                    "miss_rate": round(row.miss_rate[size], 6),
+                    "references": row.references,
+                }
+            )
+    for size in result.sizes:
+        out.append(
+            {
+                "program": "RTW_AVG",
+                "tlb_entries": size,
+                "miss_rate": round(result.rtw_average[size], 6),
+                "references": sum(r.references for r in result.rows),
+            }
+        )
+    return out
+
+
+def to_csv(rows: list[dict[str, Any]]) -> str:
+    """Serialize records as CSV text."""
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def to_json(rows: list[dict[str, Any]]) -> str:
+    """Serialize records as a JSON array."""
+    return json.dumps(rows, indent=2)
+
+
+def export_figure(result: FigureResult, path: str) -> int:
+    """Write a figure's rows to ``path`` (.csv or .json); returns rows."""
+    rows = figure_rows(result)
+    _write(rows, path)
+    return len(rows)
+
+
+def _write(rows: list[dict[str, Any]], path: str) -> None:
+    text = to_json(rows) if str(path).endswith(".json") else to_csv(rows)
+    with open(path, "w") as handle:
+        handle.write(text)

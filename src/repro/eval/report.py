@@ -1,0 +1,61 @@
+"""ASCII rendering of experiment results, matching the paper's layout."""
+
+from __future__ import annotations
+
+from repro.eval.experiments import FigureResult, Table3Row
+from repro.eval.missrates import Figure6Result
+
+_BAR_WIDTH = 46
+
+
+def render_figure(result: FigureResult) -> str:
+    """Render a relative-performance figure as a labeled bar chart."""
+    lines = [result.spec.title, "(RTW-average IPC normalized to T4)", ""]
+    for design in result.designs:
+        rel = result.relative_ipc[design]
+        bar = "#" * max(1, round(rel * _BAR_WIDTH))
+        lines.append(f"  {design:6s} {rel:6.3f}  {bar}")
+    lines.append("")
+    lines.append("Per-workload relative IPC:")
+    header = "  design " + " ".join(f"{w[:7]:>8s}" for w in result.workloads)
+    lines.append(header)
+    for design in result.designs:
+        per = result.per_workload_relative(design)
+        row = " ".join(f"{per[w]:8.3f}" for w in result.workloads)
+        lines.append(f"  {design:6s} {row}")
+    return "\n".join(lines)
+
+
+def render_table3(rows: list[Table3Row]) -> str:
+    """Render the Table 3 analogue (baseline program characterization)."""
+    lines = [
+        "Program execution performance (baseline 8-way OOO, T4)",
+        "",
+        f"  {'Program':12s} {'Insts':>8s} {'Loads':>8s} {'Stores':>8s} "
+        f"{'I/C(iss)':>9s} {'I/C(com)':>9s} {'Refs/Cyc':>9s} {'BrPred%':>8s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"  {r.program:12s} {r.instructions:8d} {r.loads:8d} {r.stores:8d} "
+            f"{r.issue_ipc:9.2f} {r.commit_ipc:9.2f} {r.refs_per_cycle:9.2f} "
+            f"{100 * r.branch_prediction_rate:8.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure6(result: Figure6Result) -> str:
+    """Render the TLB miss-rate sweep."""
+    sizes = result.sizes
+    lines = [
+        "TLB miss rates (fully-associative; LRU < 32 entries, random >= 32)",
+        "",
+        "  " + f"{'Program':12s}" + " ".join(f"{s:>8d}" for s in sizes),
+    ]
+    for row in result.rows:
+        rates = " ".join(f"{100 * row.miss_rate[s]:8.2f}" for s in sizes)
+        lines.append(f"  {row.program:12s}{rates}")
+    rtw = " ".join(f"{100 * result.rtw_average[s]:8.2f}" for s in sizes)
+    lines.append(f"  {'RTW Avg':12s}{rtw}")
+    lines.append("")
+    lines.append("  (values are percent of data references missing the TLB)")
+    return "\n".join(lines)

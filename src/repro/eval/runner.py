@@ -1,0 +1,93 @@
+"""Single-run driver with workload-build caching.
+
+Timing sweeps run each workload under many translation designs; the
+program and initialized memory image depend only on (workload, register
+budget, scale), so they are built once and the memory image is cloned
+per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.config import MachineConfig
+from repro.engine.machine import Machine, SimulationResult
+from repro.func.executor import Executor
+from repro.tlb.factory import make_mechanism
+from repro.workloads import make_workload
+from repro.workloads.base import WorkloadBuild
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """Everything that identifies one timing run."""
+
+    workload: str
+    design: str
+    issue_model: str = "ooo"
+    page_size: int = 4096
+    int_regs: int = 32
+    fp_regs: int = 32
+    scale: float = 1.0
+    max_instructions: int = 60_000
+
+
+@dataclass
+class _BuildCache:
+    builds: dict[tuple, WorkloadBuild] = field(default_factory=dict)
+    traces: dict[tuple, list] = field(default_factory=dict)
+
+    def get(self, workload: str, int_regs: int, fp_regs: int, scale: float) -> WorkloadBuild:
+        key = (workload, int_regs, fp_regs, scale)
+        build = self.builds.get(key)
+        if build is None:
+            build = make_workload(workload).build(
+                int_regs=int_regs, fp_regs=fp_regs, scale=scale
+            )
+            self.builds[key] = build
+        return build
+
+    def get_trace(
+        self,
+        workload: str,
+        int_regs: int,
+        fp_regs: int,
+        scale: float,
+        max_instructions: int,
+    ) -> list:
+        """Materialized dynamic trace, shared across designs.
+
+        The trace depends only on the program and its inputs — not on
+        the translation design, page size, or issue model — so a figure
+        grid replays one functional execution under every design.
+        """
+        key = (workload, int_regs, fp_regs, scale, max_instructions)
+        trace = self.traces.get(key)
+        if trace is None:
+            build = self.get(workload, int_regs, fp_regs, scale)
+            executor = Executor(build.program, build.memory.clone())
+            trace = list(executor.run(max_instructions=max_instructions))
+            self.traces[key] = trace
+        return trace
+
+
+_CACHE = _BuildCache()
+
+
+def clear_build_cache() -> None:
+    """Drop cached workload builds and traces (frees their memory)."""
+    _CACHE.builds.clear()
+    _CACHE.traces.clear()
+
+
+def run_one(req: RunRequest) -> SimulationResult:
+    """Execute one timing run and return its result."""
+    trace = _CACHE.get_trace(
+        req.workload, req.int_regs, req.fp_regs, req.scale, req.max_instructions
+    )
+    config = MachineConfig(issue_model=req.issue_model, page_size=req.page_size)
+    mechanism = make_mechanism(req.design, config.page_shift)
+    machine = Machine(
+        config, mechanism, iter(trace), name=f"{req.workload}/{req.design}"
+    )
+    return machine.run()

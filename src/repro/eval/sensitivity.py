@@ -1,0 +1,294 @@
+"""Ablation studies of the design choices DESIGN.md calls out.
+
+Each sweep isolates one knob of a translation mechanism (or the machine)
+and reports run-time-weighted relative IPC against the same baseline
+protocol the figures use.  These go beyond the paper's presented data
+but answer questions its design sections raise:
+
+* how much does LRU in the L1 TLB buy over random replacement (§3.3)?
+* how many piggyback ports does a single-ported TLB need (§3.4)?
+* does XOR-folding ever beat bit selection (§3.2)?
+* how much do the pretranslation tag's offset bits matter (§3.5)?
+* how sensitive are the conclusions to the 30-cycle miss latency?
+* what does pretranslation add over the BAC/THB designs it extends?
+* what would instruction-side translation have cost (§1's scoping)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.engine.config import MachineConfig
+from repro.engine.machine import Machine, SimulationResult
+from repro.eval.runner import _CACHE
+from repro.eval.weighting import rtw_average
+from repro.func.executor import Executor
+from repro.tlb.base import TranslationMechanism
+from repro.tlb.factory import make_mechanism
+from repro.tlb.interleaved import InterleavedTLB
+from repro.tlb.multilevel import MultiLevelTLB
+from repro.tlb.multiported import MultiPortedTLB
+from repro.tlb.piggyback import PiggybackTLB
+from repro.tlb.pretranslation import PretranslationMechanism
+from repro.workloads import iter_workload_names
+
+#: A variant is a label plus a mechanism factory (given the page shift).
+Variant = tuple[str, Callable[[int], TranslationMechanism]]
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one ablation sweep."""
+
+    title: str
+    workloads: tuple[str, ...]
+    #: label -> RTW-average IPC relative to the sweep's first variant.
+    relative: dict[str, float]
+    #: label -> {workload -> SimulationResult}
+    results: dict[str, dict[str, SimulationResult]]
+
+    def render(self) -> str:
+        lines = [self.title, ""]
+        for label, rel in self.relative.items():
+            bar = "#" * max(1, round(rel * 44))
+            lines.append(f"  {label:24s} {rel:6.3f}  {bar}")
+        return "\n".join(lines)
+
+
+def run_variants(
+    title: str,
+    variants: Sequence[Variant],
+    workloads: Iterable[str] | None = None,
+    max_instructions: int = 20_000,
+    config_overrides: dict | None = None,
+    per_variant_config: dict[str, dict] | None = None,
+) -> SweepResult:
+    """Run each variant over the workloads; normalize to the first."""
+    names = list(workloads) if workloads is not None else list(iter_workload_names())
+    results: dict[str, dict[str, SimulationResult]] = {}
+    for label, factory in variants:
+        overrides = dict(config_overrides or {})
+        overrides.update((per_variant_config or {}).get(label, {}))
+        per: dict[str, SimulationResult] = {}
+        for workload in names:
+            config = MachineConfig(**overrides)
+            build = _CACHE.get(workload, 32, 32, 1.0)
+            mech = factory(config.page_shift)
+            trace = Executor(build.program, build.memory.clone()).run(
+                max_instructions=max_instructions
+            )
+            per[workload] = Machine(config, mech, trace, name=f"{workload}/{label}").run()
+        results[label] = per
+    reference_label = variants[0][0]
+    weights = {w: float(results[reference_label][w].cycles) for w in names}
+    averages = {
+        label: rtw_average({w: results[label][w].ipc for w in names}, weights)
+        for label in results
+    }
+    ref = averages[reference_label]
+    relative = {label: avg / ref for label, avg in averages.items()}
+    return SweepResult(
+        title=title, workloads=tuple(names), relative=relative, results=results
+    )
+
+
+# -- the individual sweeps ----------------------------------------------------
+
+
+def sweep_l1_replacement(**kw) -> SweepResult:
+    """LRU vs random replacement in the M8 design's L1 TLB (§3.3)."""
+    variants: list[Variant] = [
+        ("M8/L1-LRU", lambda ps: MultiLevelTLB(l1_entries=8, l1_replacement="lru", page_shift=ps)),
+        (
+            "M8/L1-random",
+            lambda ps: MultiLevelTLB(l1_entries=8, l1_replacement="random", page_shift=ps),
+        ),
+    ]
+    return run_variants("L1 TLB replacement policy (M8)", variants, **kw)
+
+
+def sweep_l1_size(sizes: Sequence[int] = (2, 4, 8, 16, 32), **kw) -> SweepResult:
+    """L1 TLB capacity sweep for the multi-level design."""
+    variants: list[Variant] = [
+        (
+            f"M{size}",
+            (lambda s: lambda ps: MultiLevelTLB(l1_entries=s, page_shift=ps))(size),
+        )
+        for size in sorted(sizes, reverse=True)
+    ]
+    return run_variants("L1 TLB capacity (multi-level design)", variants, **kw)
+
+
+def sweep_piggyback_ports(counts: Sequence[int] = (3, 2, 1, 0), **kw) -> SweepResult:
+    """Riders per cycle on a single-ported piggybacked TLB (§3.4)."""
+    variants: list[Variant] = [
+        (
+            f"PB1/{count}riders",
+            (lambda c: lambda ps: PiggybackTLB(ports=1, piggyback_ports=c, page_shift=ps))(
+                count
+            ),
+        )
+        for count in counts
+    ]
+    return run_variants("Piggyback ports on a single-ported TLB", variants, **kw)
+
+
+def sweep_bank_selection(**kw) -> SweepResult:
+    """Bit selection vs XOR folding at 4 and 8 banks (§3.2)."""
+    variants: list[Variant] = [
+        ("I4/bit", lambda ps: InterleavedTLB(banks=4, select="bit", page_shift=ps)),
+        ("I4/xor", lambda ps: InterleavedTLB(banks=4, select="xor", page_shift=ps)),
+        ("I8/bit", lambda ps: InterleavedTLB(banks=8, select="bit", page_shift=ps)),
+        ("I8/xor", lambda ps: InterleavedTLB(banks=8, select="xor", page_shift=ps)),
+    ]
+    return run_variants("Interleaved bank selection function", variants, **kw)
+
+
+def sweep_offset_tag_bits(bits: Sequence[int] = (4, 2, 0), **kw) -> SweepResult:
+    """Width of the pretranslation tag's displacement field (§3.5)."""
+    variants: list[Variant] = [
+        (
+            f"P8/off{b}",
+            (lambda v: lambda ps: PretranslationMechanism(offset_tag_bits=v, page_shift=ps))(
+                b
+            ),
+        )
+        for b in bits
+    ]
+    return run_variants("Pretranslation offset-tag width", variants, **kw)
+
+
+def sweep_tlb_miss_latency(
+    latencies: Sequence[int] = (30, 10, 60, 100), design: str = "M8", **kw
+) -> SweepResult:
+    """Sensitivity of a shielded design to the miss-handler latency."""
+    variants: list[Variant] = [
+        (f"{design}/miss{lat}", lambda ps: make_mechanism(design, ps))
+        for lat in latencies
+    ]
+    per_variant = {
+        f"{design}/miss{lat}": {"tlb_miss_latency": lat} for lat in latencies
+    }
+    return run_variants(
+        f"TLB miss latency ({design})",
+        variants,
+        per_variant_config=per_variant,
+        **kw,
+    )
+
+
+def sweep_related_designs(**kw) -> SweepResult:
+    """Pretranslation vs the BAC/THB designs it extends (§3.5)."""
+    variants: list[Variant] = [
+        ("P8", lambda ps: make_mechanism("P8", ps)),
+        ("BAC32", lambda ps: make_mechanism("BAC32", ps)),
+        ("THB32", lambda ps: make_mechanism("THB32", ps)),
+        ("T1", lambda ps: make_mechanism("T1", ps)),
+    ]
+    return run_variants("Pretranslation vs related work (over T1 base)", variants, **kw)
+
+
+def sweep_page_size(
+    sizes: Sequence[int] = (4096, 8192, 16384), design: str = "M4", **kw
+) -> SweepResult:
+    """Page-size trend beyond Figure 8's single 8 KB point ([TH94])."""
+    variants: list[Variant] = [
+        (f"{design}/{size // 1024}K", lambda ps: make_mechanism(design, ps))
+        for size in sizes
+    ]
+    per_variant = {
+        f"{design}/{size // 1024}K": {"page_size": size} for size in sizes
+    }
+    return run_variants(
+        f"Page size ({design})", variants, per_variant_config=per_variant, **kw
+    )
+
+
+def sweep_base_tlb_size(
+    sizes: Sequence[int] = (256, 128, 64, 32), ports: int = 2, **kw
+) -> SweepResult:
+    """Base-TLB capacity at fixed port count: reach vs the paper's 128."""
+    variants: list[Variant] = [
+        (
+            f"T{ports}x{size}",
+            (lambda n: lambda ps: MultiPortedTLB(ports=ports, entries=n, page_shift=ps))(
+                size
+            ),
+        )
+        for size in sizes
+    ]
+    return run_variants(f"Base TLB capacity ({ports} ports)", variants, **kw)
+
+
+def sweep_predictor(**kw) -> SweepResult:
+    """Direction-predictor choice behind the same T4 machine."""
+    kinds = ("gap", "tournament", "gshare", "bimodal", "taken")
+    variants: list[Variant] = [
+        (f"T4/{kind}", lambda ps: make_mechanism("T4", ps)) for kind in kinds
+    ]
+    per_variant = {f"T4/{kind}": {"predictor": kind} for kind in kinds}
+    return run_variants(
+        "Branch predictor choice (T4)", variants, per_variant_config=per_variant, **kw
+    )
+
+
+def sweep_context_switches(
+    intervals: Sequence[int] = (0, 20_000, 5_000, 1_000), design: str = "M8", **kw
+) -> SweepResult:
+    """Multiprogramming pressure: flush all translations every N cycles.
+
+    The paper's introduction motivates high-bandwidth translation with
+    workload trends toward multitasking; this sweep quantifies how a
+    shielded design degrades as context switches shorten.
+    """
+    def label(interval: int) -> str:
+        return f"{design}/cs-never" if interval == 0 else f"{design}/cs{interval}"
+
+    variants: list[Variant] = [
+        (label(interval), lambda ps: make_mechanism(design, ps))
+        for interval in intervals
+    ]
+    per_variant = {
+        label(interval): {"context_switch_interval": interval}
+        for interval in intervals
+    }
+    return run_variants(
+        f"Context-switch interval ({design})",
+        variants,
+        per_variant_config=per_variant,
+        **kw,
+    )
+
+
+def sweep_itlb(**kw) -> SweepResult:
+    """Cost of modelling instruction-side translation (§1's scoping)."""
+    variants: list[Variant] = [
+        ("T4/no-itlb", lambda ps: make_mechanism("T4", ps)),
+        ("T4/itlb32", lambda ps: make_mechanism("T4", ps)),
+        ("T4/itlb4", lambda ps: make_mechanism("T4", ps)),
+    ]
+    per_variant = {
+        "T4/itlb32": {"model_itlb": True, "itlb_entries": 32},
+        "T4/itlb4": {"model_itlb": True, "itlb_entries": 4},
+    }
+    return run_variants(
+        "Instruction-side micro-TLB", variants, per_variant_config=per_variant, **kw
+    )
+
+
+#: All sweeps, for the ablation benchmark.
+ALL_SWEEPS: dict[str, Callable[..., SweepResult]] = {
+    "l1_replacement": sweep_l1_replacement,
+    "l1_size": sweep_l1_size,
+    "piggyback_ports": sweep_piggyback_ports,
+    "bank_selection": sweep_bank_selection,
+    "offset_tag_bits": sweep_offset_tag_bits,
+    "tlb_miss_latency": sweep_tlb_miss_latency,
+    "related_designs": sweep_related_designs,
+    "itlb": sweep_itlb,
+    "predictor": sweep_predictor,
+    "context_switches": sweep_context_switches,
+    "page_size": sweep_page_size,
+    "base_tlb_size": sweep_base_tlb_size,
+}

@@ -1,0 +1,52 @@
+"""Run-time-weighted aggregation, as in the paper.
+
+"All the results presented in this section are run-time weighted
+averages across all the benchmarks ... the run-time weighted average IPC
+(weighted by the run-time of T4 in cycles) is shown for each design.
+The IPCs are normalized to the IPC of the four-ported TLB design (T4)."
+
+Concretely: for design ``d``, with per-benchmark IPCs ``ipc[d][w]`` and
+T4 cycle counts ``t4_cycles[w]``::
+
+    rtw_ipc(d) = sum_w t4_cycles[w] * ipc[d][w] / sum_w t4_cycles[w]
+    relative(d) = rtw_ipc(d) / rtw_ipc(T4)
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+
+def rtw_average(values: Mapping[str, float], weights: Mapping[str, float]) -> float:
+    """Weighted average of ``values`` keyed like ``weights``."""
+    if not values:
+        raise ValueError("no values to average")
+    missing = set(values) - set(weights)
+    if missing:
+        raise ValueError(f"missing weights for: {sorted(missing)}")
+    total_weight = sum(weights[k] for k in values)
+    if total_weight <= 0:
+        raise ValueError("weights sum to zero")
+    return sum(values[k] * weights[k] for k in values) / total_weight
+
+
+def normalized_rtw_average(
+    ipc_by_design: Mapping[str, Mapping[str, float]],
+    t4_cycles: Mapping[str, float],
+    reference: str = "T4",
+) -> dict[str, float]:
+    """Per-design RTW-average IPC, normalized to ``reference``.
+
+    ``ipc_by_design[design][workload]`` holds the per-run IPCs;
+    ``t4_cycles[workload]`` supplies the weights.
+    """
+    if reference not in ipc_by_design:
+        raise ValueError(f"reference design {reference!r} not in results")
+    averages = {
+        design: rtw_average(per_workload, t4_cycles)
+        for design, per_workload in ipc_by_design.items()
+    }
+    ref = averages[reference]
+    if ref <= 0:
+        raise ValueError("reference average IPC is zero")
+    return {design: avg / ref for design, avg in averages.items()}

@@ -1,0 +1,18 @@
+"""Functional (architectural) simulation.
+
+The functional simulator interprets a :class:`~repro.isa.program.Program`
+against a :class:`~repro.mem.memory.SparseMemory` and yields the dynamic
+instruction stream — one :class:`~repro.func.dyninst.DynInst` per retired
+instruction, carrying effective addresses and branch outcomes.  The
+timing engine (:mod:`repro.engine`) consumes this stream.
+
+This functional-first split is a substitution for the paper's
+execution-driven simulator (which also executed wrong-path
+instructions); see DESIGN.md §1 for why the first-order translation
+bandwidth behaviour is preserved.
+"""
+
+from repro.func.dyninst import DynInst
+from repro.func.executor import ExecutionError, Executor, run_program
+
+__all__ = ["DynInst", "ExecutionError", "Executor", "run_program"]

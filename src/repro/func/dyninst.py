@@ -1,0 +1,114 @@
+"""Dynamic instruction records.
+
+A :class:`DynInst` is one element of the dynamic instruction stream: a
+static instruction plus everything the timing engine needs that only
+execution can determine — the effective address of a memory access and
+the outcome/target of a control transfer.
+
+The static per-instruction facts (sources, destinations, functional-unit
+class) are precomputed once per static instruction by the executor's
+decode cache and shared across all dynamic instances, so creating a
+``DynInst`` is cheap.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Op, OpClass
+
+
+class DecodedInst:
+    """Immutable static decode of one program instruction."""
+
+    __slots__ = (
+        "index",
+        "inst",
+        "op",
+        "op_class",
+        "srcs",
+        "addr_srcs",
+        "data_srcs",
+        "dests",
+        "is_load",
+        "is_store",
+        "is_mem",
+        "is_branch",
+        "is_control",
+        "base_reg",
+        "offset",
+    )
+
+    def __init__(self, index: int, inst: Instruction, op_class: OpClass):
+        self.index = index
+        self.inst = inst
+        self.op = inst.op
+        self.op_class = op_class
+        self.srcs = inst.sources()
+        self.dests = inst.dests()
+        self.is_load = inst.is_load()
+        self.is_store = inst.is_store()
+        self.is_mem = self.is_load or self.is_store
+        self.is_branch = inst.is_branch()
+        self.is_control = op_class in (OpClass.BRANCH, OpClass.JUMP)
+        self.base_reg = inst.base_register()
+        self.offset = inst.imm if self.is_mem else 0
+        # Stores split their dependences: address generation needs only
+        # the base register (rs2 holds the store value), so the LSQ can
+        # compute the address — and request its translation — before the
+        # data arrives.  For everything else the split is degenerate.
+        if self.is_store:
+            self.addr_srcs = tuple(s for s in self.srcs if s == inst.rs1)
+            self.data_srcs = tuple(s for s in self.srcs if s != inst.rs1)
+        else:
+            self.addr_srcs = self.srcs
+            self.data_srcs = ()
+
+
+class DynInst:
+    """One retired dynamic instruction."""
+
+    __slots__ = ("seq", "decoded", "pc", "ea", "taken", "next_index")
+
+    def __init__(
+        self,
+        seq: int,
+        decoded: DecodedInst,
+        pc: int,
+        ea: int | None = None,
+        taken: bool = False,
+        next_index: int = -1,
+    ):
+        #: Dynamic sequence number (0-based retirement order).
+        self.seq = seq
+        #: Shared static decode record.
+        self.decoded = decoded
+        #: Virtual address of this instruction.
+        self.pc = pc
+        #: Effective (virtual) address for loads/stores, else ``None``.
+        self.ea = ea
+        #: For control transfers: whether the transfer was taken.
+        self.taken = taken
+        #: Static index of the next instruction executed.
+        self.next_index = next_index
+
+    # Convenience passthroughs (used sparingly; hot paths go via .decoded).
+
+    @property
+    def op(self) -> Op:
+        return self.decoded.op
+
+    @property
+    def is_load(self) -> bool:
+        return self.decoded.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.decoded.is_store
+
+    @property
+    def is_mem(self) -> bool:
+        return self.decoded.is_mem
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = f" ea={self.ea:#x}" if self.ea is not None else ""
+        return f"<DynInst #{self.seq} {self.decoded.inst}{extra}>"

@@ -1,0 +1,96 @@
+"""Binary trace files: save a dynamic instruction stream, replay it later.
+
+Long functional executions can be captured once and replayed under many
+translation designs or machine configurations (including on machines
+without the workload's generator).  The format is a compact
+little-endian record stream:
+
+* header: magic ``RPTR``, version, record count, program length;
+* one 28-byte record per dynamic instruction:
+  ``seq, static index, pc, ea (+1, 0 = none), taken, next_index``.
+
+Replaying requires the *same program* (the static decode is
+reconstructed from it); a program-length check guards obvious
+mismatches.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.func.dyninst import DecodedInst, DynInst
+from repro.isa.opcodes import op_class
+from repro.isa.program import Program
+
+_MAGIC = b"RPTR"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHxxQQ")
+_RECORD = struct.Struct("<QIIIHH")
+
+
+class TraceFileError(ValueError):
+    """Raised for malformed or mismatched trace files."""
+
+
+def save_trace(path: "str | Path", program: Program, trace: Iterable[DynInst]) -> int:
+    """Write ``trace`` to ``path``; returns the number of records."""
+    records = []
+    for dyn in trace:
+        ea = 0 if dyn.ea is None else dyn.ea + 1
+        if not 0 <= dyn.next_index <= 0xFFFF:
+            raise TraceFileError(
+                f"next_index {dyn.next_index} exceeds the 16-bit record field"
+            )
+        records.append(
+            _RECORD.pack(
+                dyn.seq,
+                dyn.decoded.index,
+                dyn.pc & 0xFFFF_FFFF,
+                ea & 0xFFFF_FFFF,
+                1 if dyn.taken else 0,
+                dyn.next_index,
+            )
+        )
+    with open(path, "wb") as handle:
+        handle.write(_HEADER.pack(_MAGIC, _VERSION, len(records), len(program)))
+        for record in records:
+            handle.write(record)
+    return len(records)
+
+
+def load_trace(path: "str | Path", program: Program) -> Iterator[DynInst]:
+    """Replay a trace saved by :func:`save_trace` against ``program``."""
+    decode = [
+        DecodedInst(i, inst, op_class(inst.op)) for i, inst in enumerate(program)
+    ]
+    with open(path, "rb") as handle:
+        header = handle.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise TraceFileError("truncated header")
+        magic, version, count, prog_len = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise TraceFileError(f"bad magic: {magic!r}")
+        if version != _VERSION:
+            raise TraceFileError(f"unsupported version: {version}")
+        if prog_len != len(program):
+            raise TraceFileError(
+                f"trace was recorded against a {prog_len}-instruction "
+                f"program; this one has {len(program)}"
+            )
+        for _ in range(count):
+            raw = handle.read(_RECORD.size)
+            if len(raw) < _RECORD.size:
+                raise TraceFileError("truncated record stream")
+            seq, index, pc, ea, taken, next_index = _RECORD.unpack(raw)
+            if index >= len(decode):
+                raise TraceFileError(f"record references instruction {index}")
+            yield DynInst(
+                seq,
+                decode[index],
+                pc,
+                ea=None if ea == 0 else ea - 1,
+                taken=bool(taken),
+                next_index=next_index,
+            )

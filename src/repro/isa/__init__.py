@@ -1,0 +1,68 @@
+"""Mini MIPS-like instruction set used by the reproduction.
+
+The paper runs its benchmarks on "an extended (virtual) MIPS-like
+architecture ... a superset of the MIPS-I instruction set" with
+register+register and post-increment/decrement addressing modes and no
+architected delay slots.  This package defines that ISA:
+
+``registers``
+    Architected register files and naming (``r0``..``r31``, ``f0``..``f31``).
+``opcodes``
+    The opcode set with per-opcode static classification (ALU / FP /
+    load / store / branch ...), used both by the functional simulator and
+    by the timing engine's functional-unit mapping.
+``instructions``
+    The :class:`Instruction` record and memory addressing modes.
+``program``
+    :class:`Program` — a resolved, executable instruction sequence.
+``builder``
+    A structured program builder over *virtual* registers.
+``regalloc``
+    Lowers builder output to architected registers, spilling to the
+    stack when the architected budget (32 int/32 fp or 8 int/8 fp) is
+    exceeded.  This is the substrate for the paper's Figure 9 experiment.
+``assembler``
+    A small text assembler/disassembler for writing programs by hand.
+``verify``
+    Static lint for programs (register classes, operand shapes).
+"""
+
+from repro.isa.instructions import AddrMode, Instruction
+from repro.isa.opcodes import Op, OpClass, op_class
+from repro.isa.program import Program
+from repro.isa.verify import Finding, verify_program
+from repro.isa.registers import (
+    FP_REG_BASE,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    REG_SP,
+    REG_ZERO,
+    RegClass,
+    fp_reg,
+    int_reg,
+    reg_class,
+    reg_index,
+    reg_name,
+)
+
+__all__ = [
+    "AddrMode",
+    "Instruction",
+    "Op",
+    "OpClass",
+    "op_class",
+    "Program",
+    "Finding",
+    "verify_program",
+    "RegClass",
+    "FP_REG_BASE",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "REG_SP",
+    "REG_ZERO",
+    "fp_reg",
+    "int_reg",
+    "reg_class",
+    "reg_index",
+    "reg_name",
+]

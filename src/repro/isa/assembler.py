@@ -1,0 +1,225 @@
+"""Text assembler for the mini ISA.
+
+Handy for tests and for users who want to write small programs without
+the builder API.  The syntax is classic MIPS-flavoured, one instruction
+per line, ``#`` or ``;`` comments, ``label:`` definitions::
+
+    # sum r1 = 1 + 2 + ... (never taken backward here, just syntax demo)
+    start:
+        addi r1, r0, 0
+        addi r2, r0, 10
+    loop:
+        add  r1, r1, r2
+        addi r2, r2, -1
+        bne  r2, r0, loop
+        sw   r1, 0(r29)
+        lw   r3, (r29+r0)     # register+register addressing
+        lw   r4, (r29)+4      # post-increment addressing
+        halt
+
+Branch/jump targets may be label names or absolute instruction indices.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.instructions import AddrMode, Instruction
+from repro.isa.opcodes import LOAD_OPS, Op, STORE_OPS
+from repro.isa.program import Program
+from repro.isa.registers import parse_reg
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
+_MEM_BASE_IMM_RE = re.compile(r"^(-?(?:0[xX][0-9a-fA-F]+|\d+))?\(([rf]\d+)\)$")
+_MEM_BASE_REG_RE = re.compile(r"^\(([rf]\d+)\+([rf]\d+)\)$")
+_MEM_POST_RE = re.compile(r"^\(([rf]\d+)\)([+-])((?:0[xX][0-9a-fA-F]+|\d+))$")
+
+#: Opcodes taking ``rd, rs1, rs2``.
+_R3_OPS = {
+    "add": Op.ADD,
+    "sub": Op.SUB,
+    "and": Op.AND,
+    "or": Op.OR,
+    "xor": Op.XOR,
+    "nor": Op.NOR,
+    "sll": Op.SLL,
+    "srl": Op.SRL,
+    "sra": Op.SRA,
+    "slt": Op.SLT,
+    "mul": Op.MUL,
+    "div": Op.DIV,
+    "rem": Op.REM,
+    "fadd": Op.FADD,
+    "fsub": Op.FSUB,
+    "fmul": Op.FMUL,
+    "fdiv": Op.FDIV,
+    "flt": Op.FLT,
+}
+
+#: Opcodes taking ``rd, rs1, imm``.
+_I_OPS = {
+    "addi": Op.ADDI,
+    "andi": Op.ANDI,
+    "ori": Op.ORI,
+    "xori": Op.XORI,
+    "slti": Op.SLTI,
+    "slli": Op.SLLI,
+    "srli": Op.SRLI,
+}
+
+#: Opcodes taking ``rd, rs1``.
+_R2_OPS = {
+    "fmov": Op.FMOV,
+    "fneg": Op.FNEG,
+    "cvtif": Op.CVTIF,
+    "cvtfi": Op.CVTFI,
+}
+
+_MEM_OPS = {
+    "lw": Op.LW,
+    "lb": Op.LB,
+    "lfw": Op.LFW,
+    "sw": Op.SW,
+    "sb": Op.SB,
+    "sfw": Op.SFW,
+}
+
+_BRANCH2_OPS = {"beq": Op.BEQ, "bne": Op.BNE, "blt": Op.BLT, "bge": Op.BGE}
+_BRANCH1_OPS = {"bltz": Op.BLTZ, "bgez": Op.BGEZ}
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly, with a line number."""
+
+    def __init__(self, line_no: int, message: str):
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblerError(line_no, f"bad integer {token!r}") from exc
+
+
+def _parse_target(token: str) -> "int | str":
+    try:
+        return int(token, 0)
+    except ValueError:
+        return token
+
+
+def _parse_mem_operand(token: str, line_no: int) -> tuple[int, "int | None", int, AddrMode]:
+    """Parse a memory operand; returns (base, index, imm, mode)."""
+    m = _MEM_BASE_IMM_RE.match(token)
+    if m:
+        imm = _parse_int(m.group(1), line_no) if m.group(1) else 0
+        return parse_reg(m.group(2)), None, imm, AddrMode.BASE_IMM
+    m = _MEM_BASE_REG_RE.match(token)
+    if m:
+        return parse_reg(m.group(1)), parse_reg(m.group(2)), 0, AddrMode.BASE_REG
+    m = _MEM_POST_RE.match(token)
+    if m:
+        imm = _parse_int(m.group(3), line_no)
+        mode = AddrMode.POST_INC if m.group(2) == "+" else AddrMode.POST_DEC
+        return parse_reg(m.group(1)), None, imm, mode
+    raise AssemblerError(line_no, f"bad memory operand {token!r}")
+
+
+def assemble(source: str, name: str = "asm") -> Program:
+    """Assemble ``source`` text into a resolved :class:`Program`."""
+    instructions: list[Instruction] = []
+    labels: dict[str, int] = {}
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            label = label_match.group(1)
+            if label in labels:
+                raise AssemblerError(line_no, f"duplicate label {label!r}")
+            labels[label] = len(instructions)
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = [op.strip() for op in parts[1].split(",")] if len(parts) > 1 else []
+        instructions.append(_parse_instruction(mnemonic, operands, line_no))
+    try:
+        return Program(instructions, labels, name=name)
+    except ValueError as exc:
+        raise AssemblerError(0, str(exc)) from exc
+
+
+def _parse_instruction(mnemonic: str, ops: list[str], line_no: int) -> Instruction:
+    def need(count: int) -> None:
+        if len(ops) != count:
+            raise AssemblerError(
+                line_no, f"{mnemonic} expects {count} operands, got {len(ops)}"
+            )
+
+    if mnemonic in _R3_OPS:
+        need(3)
+        return Instruction(
+            _R3_OPS[mnemonic],
+            rd=parse_reg(ops[0]),
+            rs1=parse_reg(ops[1]),
+            rs2=parse_reg(ops[2]),
+        )
+    if mnemonic in _I_OPS:
+        need(3)
+        return Instruction(
+            _I_OPS[mnemonic],
+            rd=parse_reg(ops[0]),
+            rs1=parse_reg(ops[1]),
+            imm=_parse_int(ops[2], line_no),
+        )
+    if mnemonic in _R2_OPS:
+        need(2)
+        return Instruction(
+            _R2_OPS[mnemonic], rd=parse_reg(ops[0]), rs1=parse_reg(ops[1])
+        )
+    if mnemonic == "lui":
+        need(2)
+        return Instruction(Op.LUI, rd=parse_reg(ops[0]), imm=_parse_int(ops[1], line_no))
+    if mnemonic in _MEM_OPS:
+        need(2)
+        op = _MEM_OPS[mnemonic]
+        data = parse_reg(ops[0])
+        base, index, imm, mode = _parse_mem_operand(ops[1], line_no)
+        if op in LOAD_OPS:
+            return Instruction(op, rd=data, rs1=base, rs2=index, imm=imm, mode=mode)
+        if mode is AddrMode.BASE_REG:
+            raise AssemblerError(line_no, "stores do not support (base+reg) addressing")
+        assert op in STORE_OPS
+        return Instruction(op, rs1=base, rs2=data, imm=imm, mode=mode)
+    if mnemonic in _BRANCH2_OPS:
+        need(3)
+        return Instruction(
+            _BRANCH2_OPS[mnemonic],
+            rs1=parse_reg(ops[0]),
+            rs2=parse_reg(ops[1]),
+            target=_parse_target(ops[2]),
+        )
+    if mnemonic in _BRANCH1_OPS:
+        need(2)
+        return Instruction(
+            _BRANCH1_OPS[mnemonic], rs1=parse_reg(ops[0]), target=_parse_target(ops[1])
+        )
+    if mnemonic == "j":
+        need(1)
+        return Instruction(Op.J, target=_parse_target(ops[0]))
+    if mnemonic == "jal":
+        need(2)
+        return Instruction(Op.JAL, rd=parse_reg(ops[0]), target=_parse_target(ops[1]))
+    if mnemonic == "jr":
+        need(1)
+        return Instruction(Op.JR, rs1=parse_reg(ops[0]))
+    if mnemonic == "nop":
+        need(0)
+        return Instruction(Op.NOP)
+    if mnemonic == "halt":
+        need(0)
+        return Instruction(Op.HALT)
+    raise AssemblerError(line_no, f"unknown mnemonic {mnemonic!r}")

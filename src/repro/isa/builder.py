@@ -1,0 +1,346 @@
+"""Structured program builder over virtual registers.
+
+Workloads are written against an unlimited supply of *virtual* registers
+using this builder; :mod:`repro.isa.regalloc` then lowers the result to a
+given architected register budget, inserting stack spills when the budget
+is exceeded.  This mirrors the paper's methodology, where the benchmarks
+were recompiled with 32 int/32 fp and again with 8 int/8 fp registers for
+the Figure 9 experiment.
+
+The builder tracks loop nesting depth at each emitted instruction so the
+allocator can prioritize hot virtual registers (a crude stand-in for a
+compiler's loop-aware spill heuristic).
+
+Example
+-------
+>>> from repro.isa.builder import ProgramBuilder
+>>> b = ProgramBuilder("count")
+>>> i = b.vint("i")
+>>> b.li(i, 0)
+>>> with b.loop_until(i, 10):
+...     b.addi(i, i, 1)
+>>> b.halt()
+>>> prog = b.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.isa.instructions import AddrMode, Instruction
+from repro.isa.opcodes import Op
+from repro.isa.program import DEFAULT_CODE_BASE, Program
+from repro.isa.registers import RegClass
+
+
+class VReg:
+    """A virtual register, later assigned a physical home by regalloc."""
+
+    __slots__ = ("cls", "id", "name")
+
+    def __init__(self, cls: RegClass, vid: int, name: str | None = None):
+        self.cls = cls
+        self.id = vid
+        self.name = name or f"v{vid}"
+
+    def __repr__(self) -> str:
+        prefix = "vi" if self.cls is RegClass.INT else "vf"
+        return f"{prefix}{self.id}({self.name})"
+
+
+#: Operand type accepted by builder helpers: virtual or architected register.
+Operand = "VReg | int"
+
+
+class BuilderError(ValueError):
+    """Raised on builder misuse (e.g. unbalanced loops, duplicate labels)."""
+
+
+class ProgramBuilder:
+    """Accumulates instructions, labels, and loop-depth annotations."""
+
+    def __init__(self, name: str = "program", code_base: int = DEFAULT_CODE_BASE):
+        self.name = name
+        self.code_base = code_base
+        self.instructions: list[Instruction] = []
+        self.labels: dict[str, int] = {}
+        #: Loop nesting depth of each emitted instruction (parallel list).
+        self.depths: list[int] = []
+        self._next_vreg = 0
+        self._next_label = 0
+        self._loop_depth = 0
+
+    # -- virtual registers ---------------------------------------------------
+
+    def vint(self, name: str | None = None) -> VReg:
+        """Allocate a fresh virtual integer register."""
+        self._next_vreg += 1
+        return VReg(RegClass.INT, self._next_vreg, name)
+
+    def vfp(self, name: str | None = None) -> VReg:
+        """Allocate a fresh virtual floating-point register."""
+        self._next_vreg += 1
+        return VReg(RegClass.FP, self._next_vreg, name)
+
+    # -- labels and raw emission ----------------------------------------------
+
+    def label(self, name: str | None = None) -> str:
+        """Bind (and return) a label at the current position."""
+        if name is None:
+            self._next_label += 1
+            name = f".L{self._next_label}"
+        if name in self.labels:
+            raise BuilderError(f"duplicate label {name!r}")
+        self.labels[name] = len(self.instructions)
+        return name
+
+    def fresh_label(self) -> str:
+        """Reserve a label name without binding it yet."""
+        self._next_label += 1
+        return f".L{self._next_label}"
+
+    def bind(self, name: str) -> None:
+        """Bind a previously reserved label at the current position."""
+        if name in self.labels:
+            raise BuilderError(f"duplicate label {name!r}")
+        self.labels[name] = len(self.instructions)
+
+    def emit(self, inst: Instruction) -> Instruction:
+        """Append a raw instruction (operands may be VRegs)."""
+        self.instructions.append(inst)
+        self.depths.append(self._loop_depth)
+        return inst
+
+    # -- ALU helpers -----------------------------------------------------------
+
+    def _alu3(self, op: Op, rd, rs1, rs2) -> Instruction:
+        return self.emit(Instruction(op, rd=rd, rs1=rs1, rs2=rs2))
+
+    def _alui(self, op: Op, rd, rs1, imm: int) -> Instruction:
+        return self.emit(Instruction(op, rd=rd, rs1=rs1, imm=imm))
+
+    def add(self, rd, rs1, rs2):
+        return self._alu3(Op.ADD, rd, rs1, rs2)
+
+    def sub(self, rd, rs1, rs2):
+        return self._alu3(Op.SUB, rd, rs1, rs2)
+
+    def and_(self, rd, rs1, rs2):
+        return self._alu3(Op.AND, rd, rs1, rs2)
+
+    def or_(self, rd, rs1, rs2):
+        return self._alu3(Op.OR, rd, rs1, rs2)
+
+    def xor(self, rd, rs1, rs2):
+        return self._alu3(Op.XOR, rd, rs1, rs2)
+
+    def nor(self, rd, rs1, rs2):
+        return self._alu3(Op.NOR, rd, rs1, rs2)
+
+    def sll(self, rd, rs1, rs2):
+        return self._alu3(Op.SLL, rd, rs1, rs2)
+
+    def srl(self, rd, rs1, rs2):
+        return self._alu3(Op.SRL, rd, rs1, rs2)
+
+    def sra(self, rd, rs1, rs2):
+        return self._alu3(Op.SRA, rd, rs1, rs2)
+
+    def slt(self, rd, rs1, rs2):
+        return self._alu3(Op.SLT, rd, rs1, rs2)
+
+    def mul(self, rd, rs1, rs2):
+        return self._alu3(Op.MUL, rd, rs1, rs2)
+
+    def div(self, rd, rs1, rs2):
+        return self._alu3(Op.DIV, rd, rs1, rs2)
+
+    def rem(self, rd, rs1, rs2):
+        return self._alu3(Op.REM, rd, rs1, rs2)
+
+    def addi(self, rd, rs1, imm: int):
+        return self._alui(Op.ADDI, rd, rs1, imm)
+
+    def andi(self, rd, rs1, imm: int):
+        return self._alui(Op.ANDI, rd, rs1, imm)
+
+    def ori(self, rd, rs1, imm: int):
+        return self._alui(Op.ORI, rd, rs1, imm)
+
+    def xori(self, rd, rs1, imm: int):
+        return self._alui(Op.XORI, rd, rs1, imm)
+
+    def slti(self, rd, rs1, imm: int):
+        return self._alui(Op.SLTI, rd, rs1, imm)
+
+    def slli(self, rd, rs1, imm: int):
+        return self._alui(Op.SLLI, rd, rs1, imm)
+
+    def srli(self, rd, rs1, imm: int):
+        return self._alui(Op.SRLI, rd, rs1, imm)
+
+    def lui(self, rd, imm: int):
+        return self.emit(Instruction(Op.LUI, rd=rd, imm=imm))
+
+    def mov(self, rd, rs1):
+        """Register copy (``or rd, rs1, r0``-style, via ADDI 0)."""
+        return self.addi(rd, rs1, 0)
+
+    def li(self, rd, value: int):
+        """Load a 32-bit constant, splitting into LUI/ORI when needed."""
+        value &= 0xFFFF_FFFF
+        if value < 0x8000:
+            return self._alui(Op.ADDI, rd, None, value)
+        upper, lower = value >> 16, value & 0xFFFF
+        self.lui(rd, upper)
+        if lower:
+            return self.ori(rd, rd, lower)
+        return self.instructions[-1]
+
+    # -- FP helpers --------------------------------------------------------------
+
+    def fadd(self, rd, rs1, rs2):
+        return self._alu3(Op.FADD, rd, rs1, rs2)
+
+    def fsub(self, rd, rs1, rs2):
+        return self._alu3(Op.FSUB, rd, rs1, rs2)
+
+    def fmul(self, rd, rs1, rs2):
+        return self._alu3(Op.FMUL, rd, rs1, rs2)
+
+    def fdiv(self, rd, rs1, rs2):
+        return self._alu3(Op.FDIV, rd, rs1, rs2)
+
+    def fmov(self, rd, rs1):
+        return self.emit(Instruction(Op.FMOV, rd=rd, rs1=rs1))
+
+    def fneg(self, rd, rs1):
+        return self.emit(Instruction(Op.FNEG, rd=rd, rs1=rs1))
+
+    def cvtif(self, rd, rs1):
+        """Convert integer ``rs1`` to FP ``rd``."""
+        return self.emit(Instruction(Op.CVTIF, rd=rd, rs1=rs1))
+
+    def cvtfi(self, rd, rs1):
+        """Convert FP ``rs1`` to integer ``rd`` (truncating)."""
+        return self.emit(Instruction(Op.CVTFI, rd=rd, rs1=rs1))
+
+    def flt(self, rd, rs1, rs2):
+        """Integer ``rd`` = 1 if FP ``rs1 < rs2`` else 0."""
+        return self._alu3(Op.FLT, rd, rs1, rs2)
+
+    # -- memory helpers ------------------------------------------------------------
+
+    def _mem(self, op: Op, data, base, imm: int, mode: AddrMode, index=None) -> Instruction:
+        if op in (Op.LW, Op.LB, Op.LFW):
+            inst = Instruction(op, rd=data, rs1=base, imm=imm, mode=mode, rs2=index)
+        else:
+            if mode is AddrMode.BASE_REG:
+                raise BuilderError(
+                    "base+reg stores are unsupported (rs2 holds the store value)"
+                )
+            inst = Instruction(op, rs1=base, rs2=data, imm=imm, mode=mode)
+        return self.emit(inst)
+
+    def lw(self, rd, base, imm: int = 0, mode: AddrMode = AddrMode.BASE_IMM, index=None):
+        return self._mem(Op.LW, rd, base, imm, mode, index)
+
+    def lb(self, rd, base, imm: int = 0, mode: AddrMode = AddrMode.BASE_IMM, index=None):
+        return self._mem(Op.LB, rd, base, imm, mode, index)
+
+    def lfw(self, rd, base, imm: int = 0, mode: AddrMode = AddrMode.BASE_IMM, index=None):
+        return self._mem(Op.LFW, rd, base, imm, mode, index)
+
+    def sw(self, value, base, imm: int = 0, mode: AddrMode = AddrMode.BASE_IMM):
+        return self._mem(Op.SW, value, base, imm, mode)
+
+    def sb(self, value, base, imm: int = 0, mode: AddrMode = AddrMode.BASE_IMM):
+        return self._mem(Op.SB, value, base, imm, mode)
+
+    def sfw(self, value, base, imm: int = 0, mode: AddrMode = AddrMode.BASE_IMM):
+        return self._mem(Op.SFW, value, base, imm, mode)
+
+    # -- control helpers ---------------------------------------------------------------
+
+    def beq(self, rs1, rs2, target: str):
+        return self.emit(Instruction(Op.BEQ, rs1=rs1, rs2=rs2, target=target))
+
+    def bne(self, rs1, rs2, target: str):
+        return self.emit(Instruction(Op.BNE, rs1=rs1, rs2=rs2, target=target))
+
+    def blt(self, rs1, rs2, target: str):
+        return self.emit(Instruction(Op.BLT, rs1=rs1, rs2=rs2, target=target))
+
+    def bge(self, rs1, rs2, target: str):
+        return self.emit(Instruction(Op.BGE, rs1=rs1, rs2=rs2, target=target))
+
+    def bltz(self, rs1, target: str):
+        return self.emit(Instruction(Op.BLTZ, rs1=rs1, target=target))
+
+    def bgez(self, rs1, target: str):
+        return self.emit(Instruction(Op.BGEZ, rs1=rs1, target=target))
+
+    def j(self, target: str):
+        return self.emit(Instruction(Op.J, target=target))
+
+    def jal(self, rd, target: str):
+        return self.emit(Instruction(Op.JAL, rd=rd, target=target))
+
+    def jr(self, rs1):
+        return self.emit(Instruction(Op.JR, rs1=rs1))
+
+    def nop(self):
+        return self.emit(Instruction(Op.NOP))
+
+    def halt(self):
+        return self.emit(Instruction(Op.HALT))
+
+    # -- structured loops --------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def loop_until(self, counter: "VReg | int", bound: "VReg | int | None" = None) -> Iterator[None]:
+        """Loop while ``counter < bound``.
+
+        The body must advance ``counter``; the bound may be a register or
+        (when ``bound`` is an ``int``) is materialized into a fresh
+        virtual register before the loop.
+        """
+        if isinstance(bound, int):
+            limit = self.vint("loop_bound")
+            self.li(limit, bound)
+        elif bound is None:
+            raise BuilderError("loop_until requires a bound")
+        else:
+            limit = bound
+        head = self.label()
+        exit_label = self.fresh_label()
+        self.bge(counter, limit, exit_label)
+        self._loop_depth += 1
+        try:
+            yield
+        finally:
+            self._loop_depth -= 1
+            self.j(head)
+            self.bind(exit_label)
+
+    @contextlib.contextmanager
+    def repeat(self, times: int) -> Iterator["VReg"]:
+        """Loop a fixed number of times; yields the induction register."""
+        counter = self.vint("rep_i")
+        self.li(counter, 0)
+        with self.loop_until(counter, times):
+            yield counter
+            self.addi(counter, counter, 1)
+
+    # -- finalization --------------------------------------------------------------------
+
+    def build(self, int_regs: int = 32, fp_regs: int = 32) -> Program:
+        """Lower virtual registers and return an executable program.
+
+        ``int_regs``/``fp_regs`` give the architected budget (the paper
+        uses 32/32 as baseline and 8/8 for Figure 9).
+        """
+        from repro.isa.regalloc import allocate_registers
+
+        return allocate_registers(self, int_regs=int_regs, fp_regs=fp_regs)

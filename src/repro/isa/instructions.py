@@ -1,0 +1,175 @@
+"""Instruction records and memory addressing modes.
+
+Instructions are plain records (no bit-level encoding): the simulators in
+this project are architectural, so a structured representation is both
+faster and clearer than packed 32-bit words.
+
+Operand conventions (MIPS-flavoured):
+
+* three-operand ALU ops: ``rd <- rs1 OP rs2`` (or ``imm`` for the
+  immediate forms);
+* loads: ``rd <- MEM[ea]`` with the base register in ``rs1``;
+* stores: ``MEM[ea] <- rs2`` with the base register in ``rs1``;
+* branches compare ``rs1`` with ``rs2`` (or with zero) and jump to
+  ``target`` (an instruction index after :class:`~repro.isa.program.Program`
+  resolution, or a label name before);
+* ``JAL`` writes the return address into ``rd``; ``JR`` jumps to ``rs1``.
+
+The paper's ISA extends MIPS-I with ``register+register`` and
+post-increment/decrement addressing modes; those are the
+:class:`AddrMode` values ``BASE_REG``, ``POST_INC`` and ``POST_DEC``.
+A post-increment/decrement access also *writes* the base register, which
+matters to the register-dependence tracking in the timing engine and to
+pretranslation propagation (the updated pointer keeps its attached
+translation — it is an arithmetic manipulation of the pointer value).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.isa.opcodes import (
+    BRANCH_OPS,
+    LOAD_OPS,
+    MEM_OPS,
+    STORE_OPS,
+    Op,
+)
+from repro.isa.registers import REG_ZERO, reg_name
+
+
+class AddrMode(enum.Enum):
+    """Memory addressing modes for loads and stores."""
+
+    #: ``ea = rs1 + imm`` (classic MIPS displacement mode).
+    BASE_IMM = "base+imm"
+    #: ``ea = rs1 + rs2`` (paper extension).
+    BASE_REG = "base+reg"
+    #: ``ea = rs1``; afterwards ``rs1 += imm`` (paper extension).
+    POST_INC = "post-inc"
+    #: ``ea = rs1``; afterwards ``rs1 -= imm`` (paper extension).
+    POST_DEC = "post-dec"
+
+
+class Instruction:
+    """A single machine instruction.
+
+    Attributes mirror the operand conventions documented in the module
+    docstring.  ``target`` holds a label name (``str``) in unresolved
+    programs and an instruction index (``int``) after resolution.
+    """
+
+    __slots__ = ("op", "rd", "rs1", "rs2", "imm", "mode", "target")
+
+    def __init__(
+        self,
+        op: Op,
+        rd: int | None = None,
+        rs1: int | None = None,
+        rs2: int | None = None,
+        imm: int = 0,
+        mode: AddrMode = AddrMode.BASE_IMM,
+        target: "int | str | None" = None,
+    ):
+        self.op = op
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+        self.mode = mode
+        self.target = target
+
+    # -- dependence queries -------------------------------------------------
+
+    def sources(self) -> tuple[int, ...]:
+        """Registers read by this instruction (``r0`` excluded)."""
+        op = self.op
+        srcs: list[int] = []
+        if op in MEM_OPS:
+            if self.rs1 is not None:
+                srcs.append(self.rs1)
+            if self.mode is AddrMode.BASE_REG and self.rs2 is not None:
+                srcs.append(self.rs2)
+            if op in STORE_OPS and self.rs2 is not None and self.mode is not AddrMode.BASE_REG:
+                srcs.append(self.rs2)
+        else:
+            if self.rs1 is not None:
+                srcs.append(self.rs1)
+            if self.rs2 is not None:
+                srcs.append(self.rs2)
+        return tuple(s for s in srcs if s != REG_ZERO)
+
+    def dests(self) -> tuple[int, ...]:
+        """Registers written by this instruction (``r0`` excluded)."""
+        dests: list[int] = []
+        if self.rd is not None:
+            dests.append(self.rd)
+        if self.op in MEM_OPS and self.mode in (AddrMode.POST_INC, AddrMode.POST_DEC):
+            # Post-increment/decrement updates the base register.
+            if self.rs1 is not None:
+                dests.append(self.rs1)
+        return tuple(d for d in dests if d != REG_ZERO)
+
+    def base_register(self) -> int | None:
+        """The base (pointer) register of a memory access, else ``None``."""
+        if self.op in MEM_OPS:
+            return self.rs1
+        return None
+
+    def is_load(self) -> bool:
+        return self.op in LOAD_OPS
+
+    def is_store(self) -> bool:
+        return self.op in STORE_OPS
+
+    def is_mem(self) -> bool:
+        return self.op in MEM_OPS
+
+    def is_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    # -- formatting ---------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Instruction {self}>"
+
+    def __str__(self) -> str:
+        op = self.op
+        name = op.name.lower()
+
+        def rname(reg: "int | None") -> str:
+            # Tolerate malformed operands: the verifier formats broken
+            # instructions into its findings.
+            return "?" if reg is None else reg_name(reg)
+
+        if op in MEM_OPS:
+            data_reg = self.rd if op in LOAD_OPS else self.rs2
+            base = rname(self.rs1)
+            if self.mode is AddrMode.BASE_IMM:
+                ea = f"{self.imm}({base})"
+            elif self.mode is AddrMode.BASE_REG:
+                ea = f"({base}+{rname(self.rs2)})"
+            elif self.mode is AddrMode.POST_INC:
+                ea = f"({base})+{self.imm}"
+            else:
+                ea = f"({base})-{self.imm}"
+            return f"{name} {rname(data_reg)}, {ea}"
+        if op in BRANCH_OPS:
+            regs = [reg_name(r) for r in (self.rs1, self.rs2) if r is not None]
+            return f"{name} {', '.join(regs + [str(self.target)])}"
+        if op in (Op.J, Op.JAL):
+            return f"{name} {self.target}"
+        if op is Op.JR:
+            return f"{name} {reg_name(self.rs1)}"
+        if op in (Op.NOP, Op.HALT):
+            return name
+        parts = []
+        if self.rd is not None:
+            parts.append(reg_name(self.rd))
+        if self.rs1 is not None:
+            parts.append(reg_name(self.rs1))
+        if self.rs2 is not None:
+            parts.append(reg_name(self.rs2))
+        elif op in (Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.SLTI, Op.SLLI, Op.SRLI, Op.LUI):
+            parts.append(str(self.imm))
+        return f"{name} {', '.join(parts)}"

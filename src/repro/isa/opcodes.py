@@ -1,0 +1,191 @@
+"""Opcode set and static opcode classification.
+
+The opcode set is a compact superset of MIPS-I sufficient for the
+synthetic workloads: integer ALU ops, integer multiply/divide, FP
+arithmetic, loads/stores (word and byte, integer and FP), conditional
+branches, and unconditional jumps.  The classification in
+:class:`OpClass` is what the timing engine uses to map instructions onto
+functional units (Table 1 of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Op(enum.IntEnum):
+    """Machine opcodes."""
+
+    # Integer ALU.
+    ADD = enum.auto()
+    ADDI = enum.auto()
+    SUB = enum.auto()
+    AND = enum.auto()
+    ANDI = enum.auto()
+    OR = enum.auto()
+    ORI = enum.auto()
+    XOR = enum.auto()
+    XORI = enum.auto()
+    NOR = enum.auto()
+    SLL = enum.auto()
+    SLLI = enum.auto()
+    SRL = enum.auto()
+    SRLI = enum.auto()
+    SRA = enum.auto()
+    SLT = enum.auto()
+    SLTI = enum.auto()
+    LUI = enum.auto()
+    # Integer multiply / divide.
+    MUL = enum.auto()
+    DIV = enum.auto()
+    REM = enum.auto()
+    # Floating point.
+    FADD = enum.auto()
+    FSUB = enum.auto()
+    FMUL = enum.auto()
+    FDIV = enum.auto()
+    FMOV = enum.auto()
+    FNEG = enum.auto()
+    CVTIF = enum.auto()  # int -> fp
+    CVTFI = enum.auto()  # fp -> int (truncating)
+    FLT = enum.auto()  # fp compare <, integer 0/1 result register
+    # Memory.
+    LW = enum.auto()
+    LB = enum.auto()
+    SW = enum.auto()
+    SB = enum.auto()
+    LFW = enum.auto()  # load FP word
+    SFW = enum.auto()  # store FP word
+    # Control.
+    BEQ = enum.auto()
+    BNE = enum.auto()
+    BLT = enum.auto()
+    BGE = enum.auto()
+    BLTZ = enum.auto()
+    BGEZ = enum.auto()
+    J = enum.auto()
+    JAL = enum.auto()
+    JR = enum.auto()
+    # Misc.
+    NOP = enum.auto()
+    HALT = enum.auto()
+
+
+class OpClass(enum.Enum):
+    """Functional classification used for functional-unit scheduling."""
+
+    IALU = "ialu"
+    IMULT = "imult"
+    IDIV = "idiv"
+    FPADD = "fpadd"
+    FPMULT = "fpmult"
+    FPDIV = "fpdiv"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    NOP = "nop"
+    HALT = "halt"
+
+
+_IALU_OPS = frozenset(
+    {
+        Op.ADD,
+        Op.ADDI,
+        Op.SUB,
+        Op.AND,
+        Op.ANDI,
+        Op.OR,
+        Op.ORI,
+        Op.XOR,
+        Op.XORI,
+        Op.NOR,
+        Op.SLL,
+        Op.SLLI,
+        Op.SRL,
+        Op.SRLI,
+        Op.SRA,
+        Op.SLT,
+        Op.SLTI,
+        Op.LUI,
+    }
+)
+
+_FPADD_OPS = frozenset({Op.FADD, Op.FSUB, Op.FMOV, Op.FNEG, Op.CVTIF, Op.CVTFI, Op.FLT})
+
+_CLASS_OF: dict[Op, OpClass] = {}
+for _op in _IALU_OPS:
+    _CLASS_OF[_op] = OpClass.IALU
+for _op in _FPADD_OPS:
+    _CLASS_OF[_op] = OpClass.FPADD
+_CLASS_OF.update(
+    {
+        Op.MUL: OpClass.IMULT,
+        Op.DIV: OpClass.IDIV,
+        Op.REM: OpClass.IDIV,
+        Op.FMUL: OpClass.FPMULT,
+        Op.FDIV: OpClass.FPDIV,
+        Op.LW: OpClass.LOAD,
+        Op.LB: OpClass.LOAD,
+        Op.LFW: OpClass.LOAD,
+        Op.SW: OpClass.STORE,
+        Op.SB: OpClass.STORE,
+        Op.SFW: OpClass.STORE,
+        Op.BEQ: OpClass.BRANCH,
+        Op.BNE: OpClass.BRANCH,
+        Op.BLT: OpClass.BRANCH,
+        Op.BGE: OpClass.BRANCH,
+        Op.BLTZ: OpClass.BRANCH,
+        Op.BGEZ: OpClass.BRANCH,
+        Op.J: OpClass.JUMP,
+        Op.JAL: OpClass.JUMP,
+        Op.JR: OpClass.JUMP,
+        Op.NOP: OpClass.NOP,
+        Op.HALT: OpClass.HALT,
+    }
+)
+
+#: Opcodes that read memory.
+LOAD_OPS = frozenset({Op.LW, Op.LB, Op.LFW})
+
+#: Opcodes that write memory.
+STORE_OPS = frozenset({Op.SW, Op.SB, Op.SFW})
+
+#: Opcodes that access memory (loads and stores).
+MEM_OPS = LOAD_OPS | STORE_OPS
+
+#: Conditional-branch opcodes.
+BRANCH_OPS = frozenset(
+    {Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTZ, Op.BGEZ}
+)
+
+#: Unconditional control transfers.
+JUMP_OPS = frozenset({Op.J, Op.JAL, Op.JR})
+
+#: All control-transfer opcodes.
+CONTROL_OPS = BRANCH_OPS | JUMP_OPS
+
+
+def op_class(op: Op) -> OpClass:
+    """Return the :class:`OpClass` of ``op``."""
+    return _CLASS_OF[op]
+
+
+def is_load(op: Op) -> bool:
+    """True if ``op`` reads data memory."""
+    return op in LOAD_OPS
+
+
+def is_store(op: Op) -> bool:
+    """True if ``op`` writes data memory."""
+    return op in STORE_OPS
+
+
+def is_mem(op: Op) -> bool:
+    """True if ``op`` accesses data memory."""
+    return op in MEM_OPS
+
+
+def is_control(op: Op) -> bool:
+    """True if ``op`` may redirect the PC."""
+    return op in CONTROL_OPS

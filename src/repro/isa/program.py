@@ -1,0 +1,116 @@
+"""Executable programs: instruction sequences with resolved branch targets.
+
+A :class:`Program` is an immutable list of :class:`~repro.isa.instructions.
+Instruction` objects whose control-transfer ``target`` fields are
+instruction *indices*.  Programs are placed in the simulated address space
+at a code base address; the program counter is a byte address and each
+instruction occupies four bytes, so ``pc = code_base + 4 * index``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import CONTROL_OPS, Op
+
+#: Default virtual address where program code is placed.
+DEFAULT_CODE_BASE = 0x0040_0000
+
+#: Size of one encoded instruction in bytes.
+INSTRUCTION_BYTES = 4
+
+
+class ProgramError(ValueError):
+    """Raised for malformed programs (e.g. undefined labels)."""
+
+
+class Program:
+    """A resolved instruction sequence.
+
+    Parameters
+    ----------
+    instructions:
+        The instruction list.  Control-transfer ``target`` fields may be
+        label names; they are resolved against ``labels``.
+    labels:
+        Mapping from label name to instruction index.
+    name:
+        Human-readable program name (used in reports).
+    code_base:
+        Virtual address of instruction index 0.
+    """
+
+    def __init__(
+        self,
+        instructions: Iterable[Instruction],
+        labels: Mapping[str, int] | None = None,
+        name: str = "program",
+        code_base: int = DEFAULT_CODE_BASE,
+    ):
+        self.instructions: list[Instruction] = list(instructions)
+        self.labels: dict[str, int] = dict(labels or {})
+        self.name = name
+        self.code_base = code_base
+        self._resolve()
+
+    def _resolve(self) -> None:
+        """Resolve label targets to instruction indices and validate."""
+        n = len(self.instructions)
+        for label, index in self.labels.items():
+            if not 0 <= index <= n:
+                raise ProgramError(f"label {label!r} points outside program: {index}")
+        for i, inst in enumerate(self.instructions):
+            if inst.op not in CONTROL_OPS or inst.op is Op.JR:
+                continue
+            target = inst.target
+            if isinstance(target, str):
+                if target not in self.labels:
+                    raise ProgramError(f"undefined label {target!r} at instruction {i}")
+                inst.target = self.labels[target]
+            elif isinstance(target, int):
+                if not 0 <= target < n:
+                    raise ProgramError(
+                        f"branch target out of range at instruction {i}: {target}"
+                    )
+            else:
+                raise ProgramError(f"missing branch target at instruction {i}")
+
+    # -- address arithmetic --------------------------------------------------
+
+    def pc_of(self, index: int) -> int:
+        """Virtual address of the instruction at ``index``."""
+        return self.code_base + INSTRUCTION_BYTES * index
+
+    def index_of(self, pc: int) -> int:
+        """Instruction index of the virtual address ``pc``."""
+        offset = pc - self.code_base
+        if offset % INSTRUCTION_BYTES:
+            raise ProgramError(f"misaligned pc: {pc:#x}")
+        return offset // INSTRUCTION_BYTES
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def listing(self) -> str:
+        """Return a human-readable disassembly listing."""
+        index_to_labels: dict[int, list[str]] = {}
+        for label, index in self.labels.items():
+            index_to_labels.setdefault(index, []).append(label)
+        lines = []
+        for i, inst in enumerate(self.instructions):
+            for label in sorted(index_to_labels.get(i, [])):
+                lines.append(f"{label}:")
+            lines.append(f"  {i:6d}  {inst}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Program {self.name!r}: {len(self.instructions)} instructions>"

@@ -1,0 +1,95 @@
+"""Architected register files.
+
+The machine has 32 integer and 32 floating-point registers (the paper's
+baseline), or 8/8 in the "fewer registers" experiment of Figure 9.  To keep
+the functional simulator fast, registers are represented as small integers
+in a single flat namespace:
+
+* integer registers ``r0``..``r31`` map to indices ``0``..``31``;
+* floating-point registers ``f0``..``f31`` map to ``32``..``63``.
+
+``r0`` always reads as zero (writes are discarded), as in MIPS.  ``r29`` is
+reserved as the stack pointer by the program builder and register
+allocator; it is an ordinary register to the hardware.
+"""
+
+from __future__ import annotations
+
+import enum
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+#: Index of the first floating-point register in the flat namespace.
+FP_REG_BASE = NUM_INT_REGS
+
+#: Total number of architected registers in the flat namespace.
+NUM_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: The hardwired-zero integer register.
+REG_ZERO = 0
+
+#: Stack pointer (software convention used by the builder/allocator).
+REG_SP = 29
+
+#: Global pointer (software convention; global data is addressed off it).
+REG_GP = 28
+
+
+class RegClass(enum.Enum):
+    """Architectural class of a register."""
+
+    INT = "int"
+    FP = "fp"
+
+
+def int_reg(index: int) -> int:
+    """Return the flat register number of integer register ``r<index>``."""
+    if not 0 <= index < NUM_INT_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return index
+
+
+def fp_reg(index: int) -> int:
+    """Return the flat register number of FP register ``f<index>``."""
+    if not 0 <= index < NUM_FP_REGS:
+        raise ValueError(f"fp register index out of range: {index}")
+    return FP_REG_BASE + index
+
+
+def reg_class(reg: int) -> RegClass:
+    """Return the :class:`RegClass` of a flat register number."""
+    if not 0 <= reg < NUM_REGS:
+        raise ValueError(f"register number out of range: {reg}")
+    return RegClass.INT if reg < FP_REG_BASE else RegClass.FP
+
+
+def reg_index(reg: int) -> int:
+    """Return the within-class index of a flat register number."""
+    if not 0 <= reg < NUM_REGS:
+        raise ValueError(f"register number out of range: {reg}")
+    return reg if reg < FP_REG_BASE else reg - FP_REG_BASE
+
+
+def reg_name(reg: int) -> str:
+    """Return the assembly name (``r7`` / ``f3``) of a flat register number."""
+    if reg_class(reg) is RegClass.INT:
+        return f"r{reg}"
+    return f"f{reg - FP_REG_BASE}"
+
+
+def parse_reg(name: str) -> int:
+    """Parse an assembly register name (``r7`` / ``f3``) to its flat number.
+
+    Raises :class:`ValueError` for malformed names or out-of-range indices.
+    """
+    name = name.strip().lower()
+    if len(name) < 2 or name[0] not in ("r", "f"):
+        raise ValueError(f"malformed register name: {name!r}")
+    try:
+        index = int(name[1:])
+    except ValueError as exc:
+        raise ValueError(f"malformed register name: {name!r}") from exc
+    if name[0] == "r":
+        return int_reg(index)
+    return fp_reg(index)

@@ -1,0 +1,140 @@
+"""Static program verification.
+
+Catches the mistakes workload authors actually make before they turn
+into confusing functional-simulator errors mid-run:
+
+* register-class mismatches (integer opcode reading an FP register,
+  FP arithmetic on integer registers, FP base addresses);
+* malformed operand shapes (missing fields for an opcode);
+* writes to ``r0`` (legal but almost always a bug in generated code);
+* unreachable trailing code / missing ``HALT``.
+
+The checks are heuristic lint, not a type system: ``repro`` programs are
+architectural models, so the verifier warns rather than blocking when a
+pattern is legal-but-suspicious.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import AddrMode, Instruction
+from repro.isa.opcodes import (
+    BRANCH_OPS,
+    JUMP_OPS,
+    LOAD_OPS,
+    MEM_OPS,
+    Op,
+    OpClass,
+    STORE_OPS,
+    op_class,
+)
+from repro.isa.program import Program
+from repro.isa.registers import FP_REG_BASE, REG_ZERO, reg_name
+
+#: Opcodes whose rd is an integer register even though sources are FP.
+_FP_TO_INT_DEST = frozenset({Op.CVTFI, Op.FLT})
+#: Opcodes whose rd is FP with an integer source.
+_INT_TO_FP_DEST = frozenset({Op.CVTIF})
+#: FP-register opcodes (operands in the FP file unless noted above).
+_FP_OPS = frozenset({Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV, Op.FMOV, Op.FNEG})
+
+
+def _is_fp(reg: int | None) -> bool:
+    return reg is not None and reg >= FP_REG_BASE
+
+
+@dataclass
+class Finding:
+    """One verifier finding."""
+
+    index: int
+    severity: str  # "error" or "warning"
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] #{self.index}: {self.message}"
+
+
+def verify_program(program: Program) -> list[Finding]:
+    """Lint ``program``; returns findings (empty = clean)."""
+    findings: list[Finding] = []
+
+    def err(index: int, message: str) -> None:
+        findings.append(Finding(index, "error", message))
+
+    def warn(index: int, message: str) -> None:
+        findings.append(Finding(index, "warning", message))
+
+    saw_halt = False
+    for i, inst in enumerate(program):
+        op = inst.op
+        cls = op_class(op)
+        if op is Op.HALT:
+            saw_halt = True
+        _check_shape(inst, i, err)
+        _check_classes(inst, i, err)
+        if inst.rd == REG_ZERO and op not in (Op.NOP, Op.HALT):
+            warn(i, f"writes r0 (discarded): {inst}")
+        if op in MEM_OPS and inst.mode in (AddrMode.POST_INC, AddrMode.POST_DEC):
+            if inst.imm == 0:
+                warn(i, f"post-update by 0 has no effect: {inst}")
+        if cls is OpClass.IDIV and inst.rs2 == REG_ZERO:
+            err(i, f"divides by the hardwired zero register: {inst}")
+    if not saw_halt:
+        warn(len(program) - 1 if len(program) else 0, "program has no HALT")
+    return findings
+
+
+def _check_shape(inst: Instruction, i: int, err) -> None:
+    op = inst.op
+    if op in MEM_OPS and inst.rs1 is None:
+        err(i, f"memory access without a base register: {inst}")
+    if op in LOAD_OPS and inst.rd is None:
+        err(i, f"load without a destination: {inst}")
+    if op in STORE_OPS and inst.rs2 is None:
+        err(i, f"store without a value register: {inst}")
+    if op in BRANCH_OPS and inst.rs1 is None:
+        err(i, f"branch without a comparison register: {inst}")
+    if op in (JUMP_OPS - {Op.JR}) and inst.target is None:
+        err(i, f"jump without a target: {inst}")
+    if op is Op.JR and inst.rs1 is None:
+        err(i, f"jr without a register: {inst}")
+
+
+def _check_classes(inst: Instruction, i: int, err) -> None:
+    op = inst.op
+    if op in MEM_OPS:
+        if _is_fp(inst.rs1):
+            err(i, f"FP register used as base address: {inst}")
+        data = inst.rd if op in LOAD_OPS else inst.rs2
+        wants_fp = op in (Op.LFW, Op.SFW)
+        if data is not None and _is_fp(data) != wants_fp:
+            kind = "FP" if wants_fp else "integer"
+            err(i, f"{op.name.lower()} needs an {kind} data register: {inst}")
+        if inst.mode is AddrMode.BASE_REG and _is_fp(inst.rs2):
+            err(i, f"FP register used as index: {inst}")
+        return
+    if op in _FP_OPS:
+        for reg in (inst.rd, inst.rs1, inst.rs2):
+            if reg is not None and not _is_fp(reg):
+                err(i, f"{op.name.lower()} on integer register {reg_name(reg)}: {inst}")
+        return
+    if op in _FP_TO_INT_DEST:
+        if inst.rd is not None and _is_fp(inst.rd):
+            err(i, f"{op.name.lower()} writes an integer result: {inst}")
+        if inst.rs1 is not None and not _is_fp(inst.rs1):
+            err(i, f"{op.name.lower()} reads the FP file: {inst}")
+        if op is Op.FLT and inst.rs2 is not None and not _is_fp(inst.rs2):
+            err(i, f"flt compares FP registers: {inst}")
+        return
+    if op in _INT_TO_FP_DEST:
+        if inst.rd is not None and not _is_fp(inst.rd):
+            err(i, f"cvtif writes the FP file: {inst}")
+        if inst.rs1 is not None and _is_fp(inst.rs1):
+            err(i, f"cvtif reads the integer file: {inst}")
+        return
+    if op in BRANCH_OPS or op_class(op) is OpClass.IALU or op in (Op.MUL, Op.DIV, Op.REM):
+        for reg in (inst.rd, inst.rs1, inst.rs2):
+            if reg is not None and _is_fp(reg):
+                err(i, f"integer op on FP register {reg_name(reg)}: {inst}")

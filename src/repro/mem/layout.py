@@ -1,0 +1,81 @@
+"""Standard address-space layout and region allocation for workloads.
+
+The synthetic workloads place their data in conventional UNIX-style
+regions so their reference streams have the same *structure* the paper's
+benchmarks do: globals in a low data segment, dynamic structures in a
+heap that grows upward, and stack data (including the register
+allocator's spill area) near the top of the address space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Start of the program code segment.
+CODE_BASE = 0x0040_0000
+
+#: Start of the global (static data) segment.
+GLOBAL_BASE = 0x1000_0000
+
+#: Start of the heap segment.
+HEAP_BASE = 0x2000_0000
+
+#: Top of the downward-growing workload stack region.
+STACK_TOP = 0x7FE0_0000
+
+#: Base of the register-allocator spill area (kept clear of STACK_TOP).
+SPILL_BASE = 0x7FF0_0000
+
+
+@dataclass
+class Region:
+    """A named, bump-allocated region of the address space."""
+
+    name: str
+    base: int
+    limit: int
+    cursor: int = field(default=-1)
+
+    def __post_init__(self):
+        if self.cursor < 0:
+            self.cursor = self.base
+
+    def allocate(self, size: int, align: int = 8) -> int:
+        """Reserve ``size`` bytes; returns the base address."""
+        if size < 0:
+            raise ValueError(f"negative allocation: {size}")
+        if align <= 0 or align & (align - 1):
+            raise ValueError(f"alignment must be a power of two: {align}")
+        addr = (self.cursor + align - 1) & ~(align - 1)
+        if addr + size > self.limit:
+            raise MemoryError(
+                f"region {self.name!r} exhausted: need {size} bytes at {addr:#x}"
+            )
+        self.cursor = addr + size
+        return addr
+
+    @property
+    def used(self) -> int:
+        """Bytes allocated so far."""
+        return self.cursor - self.base
+
+
+class AddressSpaceLayout:
+    """The conventional region set used by all workloads."""
+
+    def __init__(self):
+        self.globals = Region("globals", GLOBAL_BASE, HEAP_BASE)
+        self.heap = Region("heap", HEAP_BASE, 0x6000_0000)
+        self.stack = Region("stack", 0x7000_0000, STACK_TOP)
+
+    def alloc_global(self, size: int, align: int = 8) -> int:
+        """Allocate in the global segment."""
+        return self.globals.allocate(size, align)
+
+    def alloc_heap(self, size: int, align: int = 8) -> int:
+        """Allocate on the heap."""
+        return self.heap.allocate(size, align)
+
+    def alloc_stack(self, size: int, align: int = 8) -> int:
+        """Allocate in the stack region."""
+        return self.stack.allocate(size, align)

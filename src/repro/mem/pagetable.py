@@ -1,0 +1,81 @@
+"""Page table: the structure the TLB designs cache.
+
+Physical frames are assigned to virtual pages on first touch (demand
+allocation), which is all an architectural study needs — the interesting
+state is the *mapping identity* plus the per-page reference and dirty
+bits, because the multi-level/pretranslation designs must write status
+changes through to the base TLB (paper §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default page size used by the paper's baseline (4 KB); Figure 8 uses 8 KB.
+DEFAULT_PAGE_SIZE = 4096
+
+
+@dataclass
+class PageTableEntry:
+    """One virtual-page mapping with status bits."""
+
+    vpn: int
+    ppn: int
+    referenced: bool = False
+    dirty: bool = False
+
+
+class PageTable:
+    """Demand-allocated single-level page table.
+
+    Parameters
+    ----------
+    page_size:
+        Bytes per page; must be a power of two.
+    """
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ValueError(f"page size must be a positive power of two: {page_size}")
+        self.page_size = page_size
+        self.page_shift = page_size.bit_length() - 1
+        self._entries: dict[int, PageTableEntry] = {}
+        self._next_frame = 0
+
+    def vpn_of(self, vaddr: int) -> int:
+        """Virtual page number of a virtual address."""
+        return vaddr >> self.page_shift
+
+    def offset_of(self, vaddr: int) -> int:
+        """Page offset of a virtual address."""
+        return vaddr & (self.page_size - 1)
+
+    def walk(self, vpn: int) -> PageTableEntry:
+        """Return the entry for ``vpn``, allocating a frame on first touch.
+
+        This is what the (hardware or software) TLB miss handler invokes;
+        the 30-cycle miss penalty is charged by the timing engine, not
+        here.
+        """
+        entry = self._entries.get(vpn)
+        if entry is None:
+            entry = PageTableEntry(vpn=vpn, ppn=self._next_frame)
+            self._next_frame += 1
+            self._entries[vpn] = entry
+        return entry
+
+    def translate(self, vaddr: int, *, write: bool = False) -> int:
+        """Translate a virtual address, updating status bits."""
+        entry = self.walk(self.vpn_of(vaddr))
+        entry.referenced = True
+        if write:
+            entry.dirty = True
+        return (entry.ppn << self.page_shift) | self.offset_of(vaddr)
+
+    def mapped_pages(self) -> int:
+        """Number of virtual pages touched so far."""
+        return len(self._entries)
+
+    def entries(self) -> list[PageTableEntry]:
+        """All mappings, in vpn order."""
+        return [self._entries[vpn] for vpn in sorted(self._entries)]

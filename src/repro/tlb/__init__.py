@@ -1,0 +1,51 @@
+"""High-bandwidth address translation mechanisms — the paper's contribution.
+
+The thirteen designs of Table 2 are built from five mechanisms:
+
+``multiported``
+    Brute-force multi-ported TLB (T4, T2, T1) — the baseline standard.
+``interleaved``
+    Banked TLB behind a crossbar with bit-select or XOR-fold bank
+    selection (I8, I4, X4).
+``multilevel``
+    Small multi-ported L1 TLB shielding a single-ported L2 (M16, M8, M4),
+    with multi-level inclusion and status write-through.
+``piggyback``
+    Piggyback ports: simultaneous requests to the same virtual page
+    combine at the access port (PB2, PB1, and per-bank in I4/PB).
+``pretranslation``
+    Translations attached to register values at first dereference and
+    propagated through pointer arithmetic (P8).
+
+All mechanisms implement the :class:`~repro.tlb.base.TranslationMechanism`
+interface consumed by the timing engine, and are instantiated from their
+paper mnemonics by :func:`~repro.tlb.factory.make_mechanism`.
+"""
+
+from repro.tlb.base import PageStatusTable, TranslationMechanism
+from repro.tlb.factory import DESIGN_MNEMONICS, make_mechanism
+from repro.tlb.interleaved import InterleavedTLB
+from repro.tlb.multilevel import MultiLevelTLB
+from repro.tlb.multiported import MultiPortedTLB, PerfectTLB
+from repro.tlb.piggyback import PiggybackTLB
+from repro.tlb.pretranslation import PretranslationMechanism
+from repro.tlb.request import TranslationRequest, TranslationResult
+from repro.tlb.stats import TranslationStats
+from repro.tlb.storage import FullyAssocTLB
+
+__all__ = [
+    "DESIGN_MNEMONICS",
+    "FullyAssocTLB",
+    "InterleavedTLB",
+    "MultiLevelTLB",
+    "MultiPortedTLB",
+    "PageStatusTable",
+    "PerfectTLB",
+    "PiggybackTLB",
+    "PretranslationMechanism",
+    "TranslationMechanism",
+    "TranslationRequest",
+    "TranslationResult",
+    "TranslationStats",
+    "make_mechanism",
+]

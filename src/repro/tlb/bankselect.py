@@ -1,0 +1,48 @@
+"""Bank selection functions for interleaved TLBs (paper §3.2, §4.1).
+
+* *Bit selection* uses the address bits immediately above the page
+  offset — i.e. the low bits of the virtual page number — to pick the
+  bank (two bits for I4, three for I8).
+* *XOR folding* (design X4) XORs together "the three least significant
+  groups of two address bits immediately above the page offset",
+  randomizing assignment for strided streams whose low vpn bits alias.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+#: A bank selection function maps a virtual page number to a bank index.
+BankSelect = Callable[[int], int]
+
+
+def bit_select(banks: int) -> BankSelect:
+    """Low-vpn-bit selection for a power-of-two number of banks."""
+    if banks <= 0 or banks & (banks - 1):
+        raise ValueError(f"banks must be a positive power of two: {banks}")
+    mask = banks - 1
+
+    def select(vpn: int) -> int:
+        return vpn & mask
+
+    return select
+
+
+def xor_fold(banks: int, groups: int = 3) -> BankSelect:
+    """XOR-fold ``groups`` consecutive low bit-groups of the vpn."""
+    if banks <= 0 or banks & (banks - 1):
+        raise ValueError(f"banks must be a positive power of two: {banks}")
+    if groups < 1:
+        raise ValueError(f"groups must be >= 1: {groups}")
+    width = banks.bit_length() - 1
+    if width == 0:
+        raise ValueError("xor_fold needs at least two banks")
+    mask = banks - 1
+
+    def select(vpn: int) -> int:
+        folded = 0
+        for g in range(groups):
+            folded ^= (vpn >> (g * width)) & mask
+        return folded
+
+    return select

@@ -1,0 +1,160 @@
+"""First-order area and latency models for the Table 2 designs.
+
+The paper's case *against* multi-porting is a scaling argument (§3.1):
+"the capacitance and resistance load on each access path increases with
+the number of ports ... the area of a multi-ported device is
+proportional to the square of the number of ports [Jol91]", while the
+alternatives add small fixed costs (comparators, a crossbar, a small
+extra array).  This module turns that argument into first-order
+numbers so performance results can be paired with cost, in the spirit
+of the paper's "any latency and area benefits will serve to improve
+system performance through increased clock speeds and/or better die
+space utilization".
+
+Units are normalized, not nanometers: area is measured in
+*single-ported CAM-entry equivalents* (one entry of a one-ported
+fully-associative TLB = 1.0) and latency in *relative access delays*
+(one 128-entry single-ported fully-associative lookup = 1.0).  The
+scaling rules:
+
+* a ``p``-ported cell costs ``~p**2 / 1**2`` area (wire-dominated
+  layout, [Jol91]); its delay grows with the per-port load,
+  modeled as ``1 + 0.15 * (p - 1)``;
+* array delay grows logarithmically with entries (match-line length):
+  ``0.5 + 0.5 * log2(entries) / log2(128)``;
+* an interleaved design pays a ``b x b`` crossbar:
+  area ``~0.05 * b**2`` entry-equivalents and a fixed 0.15 delay
+  adder, but its banks are small and single-ported;
+* a piggyback port costs one comparator + gate: 0.25 entry-equivalents
+  and (paper §3.4) no added latency on the critical path;
+* multi-level/pretranslation front structures are small multi-ported
+  arrays costed by the same rules; their *hit* path sees only the small
+  array's latency.
+
+These constants are deliberately coarse — the point is relative order
+of magnitude, which is all the paper claims.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+_BASELINE_ENTRIES = 128
+
+
+def _array_delay(entries: int, ports: int = 1) -> float:
+    """Relative delay of a fully-associative array lookup."""
+    if entries <= 0:
+        raise ValueError(f"entries must be positive: {entries}")
+    size_term = 0.5 + 0.5 * (math.log2(entries) / math.log2(_BASELINE_ENTRIES))
+    port_term = 1.0 + 0.15 * (ports - 1)
+    return size_term * port_term
+
+
+def _array_area(entries: int, ports: int = 1) -> float:
+    """Area in single-ported entry equivalents."""
+    if ports <= 0:
+        raise ValueError(f"ports must be positive: {ports}")
+    return entries * ports * ports
+
+
+@dataclass
+class DesignCost:
+    """First-order cost summary of one design."""
+
+    mnemonic: str
+    #: Area in single-ported CAM-entry equivalents.
+    area: float
+    #: Relative delay of the common-case (hit) translation path.
+    hit_latency: float
+    #: Short explanation of what dominates the cost.
+    note: str
+
+    @property
+    def area_vs_t1(self) -> float:
+        """Area relative to the single-ported 128-entry baseline."""
+        return self.area / _array_area(_BASELINE_ENTRIES, 1)
+
+
+def design_cost(mnemonic: str) -> DesignCost:
+    """Cost model for a Table 2 (or extension) mnemonic."""
+    name = mnemonic.upper()
+    if name in ("T4", "T2", "T1"):
+        ports = int(name[1])
+        return DesignCost(
+            name,
+            area=_array_area(128, ports),
+            hit_latency=_array_delay(128, ports),
+            note=f"{ports}-ported cells: area x{ports * ports}, loaded match lines",
+        )
+    if name in ("I8", "I4", "X4"):
+        banks = int(name[1])
+        bank_entries = 128 // banks
+        crossbar = 0.05 * banks * banks * 4  # ports x banks switch points
+        return DesignCost(
+            name,
+            area=_array_area(bank_entries, 1) * banks + crossbar,
+            hit_latency=_array_delay(bank_entries, 1) + 0.15,
+            note="single-ported banks + crossbar adder",
+        )
+    if name in ("M16", "M8", "M4"):
+        l1_entries = int(name[1:])
+        l1 = _array_area(l1_entries, 4)
+        l2 = _array_area(128, 1)
+        return DesignCost(
+            name,
+            area=l1 + l2,
+            hit_latency=_array_delay(l1_entries, 4),
+            note="small 4-ported L1 on the hit path; L2 off it",
+        )
+    if name == "P8":
+        pcache = _array_area(8, 4)
+        base = _array_area(128, 1)
+        return DesignCost(
+            name,
+            area=pcache + base,
+            # Pretranslations are ready at decode: the hit path adds no
+            # translation delay before cache access at all.
+            hit_latency=_array_delay(8, 4) * 0.5,
+            note="8-entry pretranslation cache read at decode",
+        )
+    if name in ("PB2", "PB1"):
+        ports = int(name[2])
+        riders = 2 if name == "PB2" else 3
+        return DesignCost(
+            name,
+            area=_array_area(128, ports) + 0.25 * riders,
+            hit_latency=_array_delay(128, ports),  # gate on hit signal only
+            note=f"{ports} real ports + {riders} comparators",
+        )
+    if name == "I4/PB":
+        base = design_cost("I4")
+        return DesignCost(
+            name,
+            area=base.area + 0.25 * 3 * 4,
+            hit_latency=base.hit_latency,
+            note="I4 plus per-bank piggyback comparators",
+        )
+    if name in ("BAC32", "THB32"):
+        front = _array_area(32, 4)
+        return DesignCost(
+            name,
+            area=front + _array_area(128, 1),
+            hit_latency=_array_delay(32, 4) * 0.5,
+            note="32-entry PC-indexed cache read at decode",
+        )
+    raise ValueError(f"no cost model for design {mnemonic!r}")
+
+
+def cost_table(mnemonics) -> str:
+    """Render an area/latency table for a set of designs."""
+    lines = [
+        f"  {'design':8s} {'area (T1=1)':>12s} {'hit delay':>10s}  note",
+    ]
+    for m in mnemonics:
+        c = design_cost(m)
+        lines.append(
+            f"  {c.mnemonic:8s} {c.area_vs_t1:12.2f} {c.hit_latency:10.2f}  {c.note}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Multi-level TLB (paper §3.3) — designs M16, M8, M4.
+
+A small multi-ported L1 TLB with LRU replacement shields a large
+single-ported L2 TLB with random replacement.  The L1 has enough ports
+(four) for every simultaneous request the baseline core can make, so an
+L1 hit is a zero-added-latency shielded translation.
+
+Timing (paper §4.1): L1 misses are sent *the following cycle* to the L2,
+where they may queue behind other requests; the minimum added latency of
+an L1 miss is therefore 2 cycles (one to forward, one to access the L2).
+
+Consistency (paper §4.1):
+
+* multi-level inclusion — misses fill both levels, and an entry replaced
+  in the L2 is selectively invalidated from the L1;
+* page status (reference/dirty bits) is replicated in the L1 but every
+  status *change* is written through to the L2 immediately, consuming an
+  L2 port cycle.
+"""
+
+from __future__ import annotations
+
+from repro.tlb.base import PageStatusTable, PortArbiter, TranslationMechanism, _StatusWrite
+from repro.tlb.request import TranslationRequest, TranslationResult
+from repro.tlb.storage import FullyAssocTLB
+
+
+class MultiLevelTLB(TranslationMechanism):
+    """An L1/L2 TLB hierarchy with inclusion and status write-through."""
+
+    #: Added latency of the L2 access itself after the forward cycle.
+    L2_ACCESS_CYCLES = 1
+
+    def __init__(
+        self,
+        l1_entries: int,
+        l1_ports: int = 4,
+        l2_entries: int = 128,
+        l2_ports: int = 1,
+        l1_replacement: str = "lru",
+        page_shift: int = 12,
+        seed: int = 0xBEEF_CAFE,
+    ):
+        super().__init__(page_shift)
+        self.l1 = FullyAssocTLB(l1_entries, replacement=l1_replacement, seed=seed)
+        self.l2 = FullyAssocTLB(l2_entries, replacement="random", seed=seed ^ 0x5A5A)
+        self.l1_ports = l1_ports
+        self.arbiter = PortArbiter(l2_ports)
+        self.status = PageStatusTable()
+
+    def request(self, req: TranslationRequest) -> TranslationResult | None:
+        self.stats.requests += 1
+        if self.l1.probe(req.vpn):
+            self.stats.shielded += 1
+            if self.status.needs_update(req.vpn, req.is_write):
+                # Write the status change through to the L2 port queue.
+                self.status.update(req.vpn, req.is_write)
+                self.stats.status_writes += 1
+                self.arbiter.submit(req.cycle, req.seq, _StatusWrite(req.vpn))
+            return TranslationResult(req, ready=req.cycle, shielded=True)
+        # Forwarded to the L2 the following cycle.
+        self.arbiter.submit(req.cycle + 1, req.seq, req)
+        return None
+
+    def tick(self, now: int) -> list[TranslationResult]:
+        results: list[TranslationResult] = []
+        for payload in self.arbiter.grant(now):
+            if isinstance(payload, _StatusWrite):
+                continue  # consumes the port cycle; nothing to report
+            req: TranslationRequest = payload
+            # Queueing beyond the mandatory forward cycle is port stall.
+            stall = now - (req.cycle + 1)
+            if stall > 0:
+                self.stats.port_stall_cycles += stall
+                self.stats.port_stalled_requests += 1
+            self.stats.base_probes += 1
+            hit = self.l2.probe(req.vpn)
+            if not hit:
+                self.stats.base_misses += 1
+                victim = self.l2.insert(req.vpn)
+                if victim is not None:
+                    # Enforce inclusion: the L1 may not cache a page the
+                    # L2 no longer holds.
+                    self.l1.invalidate(victim)
+            self.l1.insert(req.vpn)
+            self.status.update(req.vpn, req.is_write)
+            results.append(
+                TranslationResult(
+                    req, ready=now + self.L2_ACCESS_CYCLES, tlb_miss=not hit
+                )
+            )
+        return results
+
+    def pending(self) -> int:
+        return len(self.arbiter)
+
+    def flush(self) -> None:
+        self.l1.flush()
+        self.l2.flush()
+        self.status = PageStatusTable()
+
+    def check_inclusion(self) -> bool:
+        """True when every L1 entry is also in the L2 (test hook)."""
+        return all(vpn in self.l2 for vpn in self.l1.resident())

@@ -1,0 +1,83 @@
+"""Multi-ported TLB (paper §3.1) — designs T4, T2, T1.
+
+Every port has a path to every entry, so each granted request probes the
+single shared fully-associative bank.  Bandwidth is exactly ``ports``
+translations per cycle; excess simultaneous requests queue and are
+granted to the earliest-issued instruction first.
+
+T4 (four ports) can serve every request the 4 load/store-unit baseline
+can generate, so it doubles as the paper's unlimited-bandwidth yardstick.
+"""
+
+from __future__ import annotations
+
+from repro.tlb.base import PortArbiter, TranslationMechanism
+from repro.tlb.request import TranslationRequest, TranslationResult
+from repro.tlb.storage import FullyAssocTLB
+
+
+class MultiPortedTLB(TranslationMechanism):
+    """A ``ports``-ported, fully-associative TLB."""
+
+    def __init__(
+        self,
+        ports: int,
+        entries: int = 128,
+        replacement: str = "random",
+        page_shift: int = 12,
+        seed: int = 0xBEEF_CAFE,
+    ):
+        super().__init__(page_shift)
+        self.tlb = FullyAssocTLB(entries, replacement=replacement, seed=seed)
+        self.arbiter = PortArbiter(ports)
+        self.ports = ports
+
+    def request(self, req: TranslationRequest) -> TranslationResult | None:
+        self.stats.requests += 1
+        self.arbiter.submit(req.cycle, req.seq, req)
+        return None
+
+    def tick(self, now: int) -> list[TranslationResult]:
+        results = []
+        for req in self.arbiter.grant(now):
+            stall = now - req.cycle
+            if stall > 0:
+                self.stats.port_stall_cycles += stall
+                self.stats.port_stalled_requests += 1
+            self.stats.base_probes += 1
+            hit = self.tlb.probe(req.vpn)
+            if not hit:
+                self.stats.base_misses += 1
+                self.tlb.insert(req.vpn)
+            results.append(TranslationResult(req, ready=now, tlb_miss=not hit))
+        return results
+
+    def pending(self) -> int:
+        return len(self.arbiter)
+
+    def flush(self) -> None:
+        self.tlb.flush()
+
+
+class PerfectTLB(TranslationMechanism):
+    """Unlimited bandwidth, zero misses: the ideal upper bound.
+
+    Useful for sanity baselines and for isolating translation effects
+    from the rest of the machine; not one of the paper's designs (T4
+    plays that role there because it already saturates the core's
+    demand).
+    """
+
+    def __init__(self, page_shift: int = 12):
+        super().__init__(page_shift)
+
+    def request(self, req: TranslationRequest) -> TranslationResult | None:
+        self.stats.requests += 1
+        self.stats.shielded += 1
+        return TranslationResult(req, ready=req.cycle, shielded=True)
+
+    def tick(self, now: int) -> list[TranslationResult]:
+        return []
+
+    def pending(self) -> int:
+        return 0

@@ -1,0 +1,103 @@
+"""Piggyback ports (paper §3.4) — designs PB2 and PB1.
+
+Requests that fail to win a translation port compare their virtual page
+address, in parallel with the TLB access, against the requests that did;
+on a match the blocked request consumes the in-progress translation
+instead of waiting for a port of its own.  The hardware cost is one
+comparator and a gate on the hit signal per piggyback port, so riders add
+no latency.
+
+If the host translation *misses*, the rider shares the single page walk:
+its result carries ``depends_on = host.seq`` and the engine completes it
+together with the host.
+"""
+
+from __future__ import annotations
+
+from repro.tlb.base import PortArbiter, TranslationMechanism
+from repro.tlb.request import TranslationRequest, TranslationResult
+from repro.tlb.storage import FullyAssocTLB
+
+
+class PiggybackTLB(TranslationMechanism):
+    """A multi-ported TLB augmented with piggyback ports.
+
+    Parameters
+    ----------
+    ports:
+        Real translation ports (PB2 has 2, PB1 has 1).
+    piggyback_ports:
+        Riders serviceable per cycle (PB2 has 2, PB1 has 3 — enough for
+        the baseline's four simultaneous requests in both cases).
+    """
+
+    def __init__(
+        self,
+        ports: int,
+        piggyback_ports: int,
+        entries: int = 128,
+        replacement: str = "random",
+        page_shift: int = 12,
+        seed: int = 0xBEEF_CAFE,
+    ):
+        super().__init__(page_shift)
+        if piggyback_ports < 0:
+            raise ValueError(f"piggyback_ports must be >= 0: {piggyback_ports}")
+        self.tlb = FullyAssocTLB(entries, replacement=replacement, seed=seed)
+        self.arbiter = PortArbiter(ports)
+        self.ports = ports
+        self.piggyback_ports = piggyback_ports
+
+    def request(self, req: TranslationRequest) -> TranslationResult | None:
+        self.stats.requests += 1
+        self.arbiter.submit(req.cycle, req.seq, req)
+        return None
+
+    def tick(self, now: int) -> list[TranslationResult]:
+        granted = self.arbiter.grant(now)
+        results: list[TranslationResult] = []
+        host_outcome: dict[int, tuple[int, bool]] = {}
+        for req in granted:
+            stall = now - req.cycle
+            if stall > 0:
+                self.stats.port_stall_cycles += stall
+                self.stats.port_stalled_requests += 1
+            self.stats.base_probes += 1
+            hit = self.tlb.probe(req.vpn)
+            if not hit:
+                self.stats.base_misses += 1
+                self.tlb.insert(req.vpn)
+            results.append(TranslationResult(req, ready=now, tlb_miss=not hit))
+            # First host per vpn wins; later same-vpn grants are equivalent.
+            host_outcome.setdefault(req.vpn, (req.seq, not hit))
+        if host_outcome and self.piggyback_ports:
+            riders = 0
+            for req in self.arbiter.peek_waiting(now):
+                if riders >= self.piggyback_ports:
+                    break
+                outcome = host_outcome.get(req.vpn)
+                if outcome is None:
+                    continue
+                host_seq, host_missed = outcome
+                self.arbiter.remove(req)
+                riders += 1
+                self.stats.piggybacked += 1
+                stall = now - req.cycle
+                if stall > 0:
+                    self.stats.port_stall_cycles += stall
+                    self.stats.port_stalled_requests += 1
+                results.append(
+                    TranslationResult(
+                        req,
+                        ready=now,
+                        tlb_miss=host_missed,
+                        depends_on=host_seq if host_missed else None,
+                    )
+                )
+        return results
+
+    def pending(self) -> int:
+        return len(self.arbiter)
+
+    def flush(self) -> None:
+        self.tlb.flush()

@@ -1,0 +1,152 @@
+"""Related-work shielding mechanisms the paper builds on (§3.5).
+
+The paper positions pretranslation as an extension of two earlier
+proposals, which we implement as extension designs so the lineage can be
+measured:
+
+* **BAC** — Chiueh & Katz's *branch address cache* idea applied to data
+  access: a small cache indexed by the **instruction address** of a
+  load/store remembers the page that instruction last touched.  If the
+  same instruction touches the same page again, the cached translation
+  is reused.  Unlike pretranslation there is no propagation through
+  register arithmetic, and reuse is per static instruction rather than
+  per pointer value.
+* **THB** — Bray & Flynn's *translation hint buffer*, which extends the
+  same structure "to include a prediction of the next translation as
+  well": a hit is also scored when the access lands on the page
+  *following* the cached one (capturing code/data that streams across a
+  page boundary), and the cached entry is updated to the new page.
+
+Both sit over a single-ported 128-entry base TLB, like P8, so the three
+designs isolate exactly the attachment policy.
+"""
+
+from __future__ import annotations
+
+from repro.tlb.base import PageStatusTable, PortArbiter, TranslationMechanism, _StatusWrite
+from repro.tlb.request import TranslationRequest, TranslationResult
+from repro.tlb.storage import FullyAssocTLB
+
+
+class _PcIndexedCache:
+    """Small LRU cache: static instruction tag -> last vpn."""
+
+    def __init__(self, entries: int):
+        if entries <= 0:
+            raise ValueError(f"entries must be positive: {entries}")
+        self.entries = entries
+        self._cache: dict[int, int] = {}
+
+    def lookup(self, tag: int) -> int | None:
+        vpn = self._cache.get(tag)
+        if vpn is not None:
+            del self._cache[tag]
+            self._cache[tag] = vpn
+        return vpn
+
+    def insert(self, tag: int, vpn: int) -> None:
+        if tag in self._cache:
+            del self._cache[tag]
+        elif len(self._cache) >= self.entries:
+            del self._cache[next(iter(self._cache))]
+        self._cache[tag] = vpn
+
+    def flush(self) -> None:
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+class BranchAddressCache(TranslationMechanism):
+    """BAC-style per-static-instruction translation reuse.
+
+    The tag is the requesting instruction's address; the engine does not
+    currently thread the PC through translation requests, so the *base
+    register + displacement* pair — which identifies the static access
+    site in our builder-generated code — stands in for it.  A hit
+    requires the access to land on the page the site last touched.
+    """
+
+    #: When True, a hit is also scored on the page after the cached one
+    #: (the THB's next-page prediction), updating the entry.
+    next_page_hint = False
+
+    def __init__(
+        self,
+        cache_entries: int = 32,
+        base_entries: int = 128,
+        base_ports: int = 1,
+        page_shift: int = 12,
+        seed: int = 0xBEEF_CAFE,
+    ):
+        super().__init__(page_shift)
+        self.cache = _PcIndexedCache(cache_entries)
+        self.base = FullyAssocTLB(base_entries, replacement="random", seed=seed)
+        self.arbiter = PortArbiter(base_ports)
+        self.status = PageStatusTable()
+
+    @staticmethod
+    def _tag(req: TranslationRequest) -> int | None:
+        if req.base_reg is None:
+            return None
+        return (req.base_reg << 16) ^ (req.offset & 0xFFFF)
+
+    def request(self, req: TranslationRequest) -> TranslationResult | None:
+        self.stats.requests += 1
+        tag = self._tag(req)
+        if tag is not None:
+            cached = self.cache.lookup(tag)
+            if cached is not None:
+                hit = cached == req.vpn
+                if not hit and self.next_page_hint and req.vpn == cached + 1:
+                    hit = True
+                    self.cache.insert(tag, req.vpn)
+                if hit:
+                    self.stats.shielded += 1
+                    if self.status.needs_update(req.vpn, req.is_write):
+                        self.status.update(req.vpn, req.is_write)
+                        self.stats.status_writes += 1
+                        self.arbiter.submit(req.cycle, req.seq, _StatusWrite(req.vpn))
+                    return TranslationResult(req, ready=req.cycle, shielded=True)
+        self.arbiter.submit(req.cycle + 1, req.seq, req)
+        return None
+
+    def tick(self, now: int) -> list[TranslationResult]:
+        results: list[TranslationResult] = []
+        for payload in self.arbiter.grant(now):
+            if isinstance(payload, _StatusWrite):
+                continue
+            req: TranslationRequest = payload
+            stall = now - (req.cycle + 1)
+            if stall > 0:
+                self.stats.port_stall_cycles += stall
+                self.stats.port_stalled_requests += 1
+            self.stats.base_probes += 1
+            hit = self.base.probe(req.vpn)
+            if not hit:
+                self.stats.base_misses += 1
+                victim = self.base.insert(req.vpn)
+                if victim is not None:
+                    self.cache.flush()
+                    self.stats.shield_flushes += 1
+            tag = self._tag(req)
+            if tag is not None:
+                self.cache.insert(tag, req.vpn)
+            self.status.update(req.vpn, req.is_write)
+            results.append(TranslationResult(req, ready=now, tlb_miss=not hit))
+        return results
+
+    def pending(self) -> int:
+        return len(self.arbiter)
+
+    def flush(self) -> None:
+        self.cache.flush()
+        self.base.flush()
+        self.status = PageStatusTable()
+
+
+class TranslationHintBuffer(BranchAddressCache):
+    """THB: BAC plus next-page prediction (Bray & Flynn)."""
+
+    next_page_hint = True

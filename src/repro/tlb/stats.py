@@ -1,0 +1,52 @@
+"""Counters shared by all translation mechanisms.
+
+These map directly onto the qualitative model of the paper's Section 2:
+``shielded`` measures :math:`f_{shielded}`, ``port_stall_cycles``
+accumulates :math:`t_{stalled}`, and ``base_misses / base_probes`` is
+:math:`M_{TLB}` for the base mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TranslationStats:
+    """Accumulated translation-mechanism counters."""
+
+    #: Translation requests submitted by the processor core.
+    requests: int = 0
+    #: Requests satisfied by a shielding mechanism (L1 TLB hit,
+    #: pretranslation hit) without touching the base TLB port.
+    shielded: int = 0
+    #: Requests satisfied by combining with another request at a port.
+    piggybacked: int = 0
+    #: Accesses granted a base-TLB port.
+    base_probes: int = 0
+    #: Base-TLB misses (each costs the 30-cycle walk in the engine).
+    base_misses: int = 0
+    #: Total cycles requests spent queued waiting for a port (beyond the
+    #: design's intrinsic minimum latency).
+    port_stall_cycles: int = 0
+    #: Requests that waited at least one cycle for a port.
+    port_stalled_requests: int = 0
+    #: Reference/dirty-bit write-throughs sent to the base TLB.
+    status_writes: int = 0
+    #: Pretranslation-cache / L1-TLB flushes due to base replacements.
+    shield_flushes: int = 0
+
+    @property
+    def shielded_fraction(self) -> float:
+        """:math:`f_{shielded}` of the paper's model."""
+        return self.shielded / self.requests if self.requests else 0.0
+
+    @property
+    def base_miss_rate(self) -> float:
+        """:math:`M_{TLB}` of the paper's model."""
+        return self.base_misses / self.base_probes if self.base_probes else 0.0
+
+    @property
+    def mean_port_stall(self) -> float:
+        """Average :math:`t_{stalled}` over all requests."""
+        return self.port_stall_cycles / self.requests if self.requests else 0.0

@@ -1,0 +1,115 @@
+"""TLB entry storage: a fully-associative bank with LRU or random replacement.
+
+All of Table 2's structures are compositions of this bank: a multi-ported
+TLB is one bank with several access paths, an interleaved TLB is several
+banks, a multi-level TLB is a small LRU bank over a large random bank,
+and the pretranslation design's base TLB is a single random bank.
+
+The bank stores virtual page numbers only.  Physical frame numbers are
+a function of the page table and do not affect timing, so carrying them
+here would be dead weight; what matters architecturally is *which* pages
+are resident and the replacement order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.caches.replacement import XorShift32
+
+
+class FullyAssocTLB:
+    """Fully-associative TLB bank.
+
+    Parameters
+    ----------
+    entries:
+        Capacity in page-table entries.
+    replacement:
+        ``"lru"`` (used by the small L1 TLBs and the pretranslation
+        cache) or ``"random"`` (used by the paper's 128-entry base TLBs).
+    seed:
+        PRNG seed for random replacement (deterministic xorshift).
+    """
+
+    def __init__(self, entries: int, replacement: str = "random", seed: int = 0xBEEF_CAFE):
+        if entries <= 0:
+            raise ValueError(f"entries must be positive: {entries}")
+        if replacement not in ("lru", "random"):
+            raise ValueError(f"unknown replacement policy: {replacement!r}")
+        self.entries = entries
+        self.replacement = replacement
+        self._rng = XorShift32(seed)
+        # Insertion-ordered dict doubles as the LRU chain (MRU last).
+        self._resident: dict[int, None] = {}
+        self.probes = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._resident
+
+    def probe(self, vpn: int) -> bool:
+        """Look up ``vpn``; updates recency on hit and counts stats."""
+        self.probes += 1
+        if vpn in self._resident:
+            if self.replacement == "lru":
+                del self._resident[vpn]
+                self._resident[vpn] = None
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, vpn: int) -> int | None:
+        """Install ``vpn``; returns the evicted vpn, if any.
+
+        Inserting a resident vpn refreshes its recency and evicts
+        nothing.
+        """
+        if vpn in self._resident:
+            if self.replacement == "lru":
+                del self._resident[vpn]
+                self._resident[vpn] = None
+            return None
+        victim = None
+        if len(self._resident) >= self.entries:
+            if self.replacement == "lru":
+                victim = next(iter(self._resident))
+            else:
+                index = self._rng.below(len(self._resident))
+                # dict preserves order; walk to the chosen slot.
+                for i, key in enumerate(self._resident):
+                    if i == index:
+                        victim = key
+                        break
+            del self._resident[victim]
+            self.evictions += 1
+        self._resident[vpn] = None
+        self.insertions += 1
+        return victim
+
+    def invalidate(self, vpn: int) -> bool:
+        """Drop ``vpn`` if resident; returns True if it was."""
+        if vpn in self._resident:
+            del self._resident[vpn]
+            return True
+        return False
+
+    def flush(self) -> int:
+        """Drop everything; returns the number of entries dropped."""
+        count = len(self._resident)
+        self._resident.clear()
+        return count
+
+    def resident(self) -> Iterable[int]:
+        """The resident vpns, LRU order first (when LRU)."""
+        return tuple(self._resident)
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of probes that missed (0 when unprobed)."""
+        return self.misses / self.probes if self.probes else 0.0

@@ -1,0 +1,48 @@
+"""Synthetic benchmark workloads.
+
+The paper evaluates ten programs (SPEC '92 plus ghostscript, mpeg_play,
+perl, tfft).  We cannot run the original binaries, so each module here
+synthesizes a program in the mini ISA engineered to reproduce its
+namesake's *memory-reference structure* — data-set size, spatial and
+temporal locality, pointer-versus-array style, base-register reuse,
+branch predictability, and int/FP mix — which is what drives the
+paper's translation-bandwidth results (see DESIGN.md §1).
+
+Locality regimes, following the paper's characterization:
+
+* poor TLB locality (Figure 6's worst three): ``compress``,
+  ``mpeg_play``, ``tfft``;
+* dense array/stencil locality: ``tomcatv``, ``doduc``, ``ghostscript``;
+* pointer/interpreter codes with high base-register reuse: ``xlisp``,
+  ``gcc``, ``perl``, ``espresso``.
+"""
+
+from repro.workloads.base import (
+    Workload,
+    WorkloadBuild,
+    iter_workload_names,
+    make_workload,
+    register_workload,
+)
+
+# Importing the modules registers the workloads.
+from repro.workloads import (  # noqa: E402,F401  (registration side effect)
+    compress,
+    doduc,
+    espresso,
+    gcc,
+    ghostscript,
+    mpeg_play,
+    perl,
+    tfft,
+    tomcatv,
+    xlisp,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadBuild",
+    "iter_workload_names",
+    "make_workload",
+    "register_workload",
+]

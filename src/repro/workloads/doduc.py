@@ -1,0 +1,114 @@
+"""``doduc`` — Monte-Carlo nuclear reactor kernel (FP-dominated).
+
+SPEC '92 doduc simulates neutron transport: long chains of dependent
+floating-point arithmetic over modestly sized state arrays, a low memory
+reference density (the paper measures 0.71 refs/cycle), and
+moderately predictable branching (86.6%).
+
+The kernel tracks "particles" through an absorption/scatter loop: each
+step loads a particle record (4 FP fields), runs a multiply/divide-heavy
+update, branches on an FP comparison whose outcome depends on the data,
+and stores the record back.  The particle array is a few hundred KB, so
+TLB behaviour is good once warm.
+"""
+
+from __future__ import annotations
+
+from repro.caches.replacement import XorShift32
+from repro.isa.builder import ProgramBuilder
+from repro.mem.layout import AddressSpaceLayout
+from repro.mem.memory import SparseMemory
+from repro.workloads.base import (
+    Workload,
+    fill_float_words,
+    register_workload,
+    scaled,
+)
+
+#: Particles in flight (4 FP words each -> 256 KB of state).
+PARTICLES = 1 << 14
+
+
+@register_workload
+class Doduc(Workload):
+    name = "doduc"
+    description = "FP Monte-Carlo transport: dependent FP chains, modest data"
+    regime = "dense"
+
+    def construct(
+        self,
+        b: ProgramBuilder,
+        memory: SparseMemory,
+        layout: AddressSpaceLayout,
+        scale: float,
+    ) -> None:
+        rng = XorShift32(0xD0D0C)
+        particles = layout.alloc_heap(PARTICLES * 16)
+        fill_float_words(memory, particles, PARTICLES * 4, rng)
+
+        steps = scaled(4200, scale)
+
+        base = b.vint("base")
+        i = b.vint("i")
+        half = b.vfp("half")
+        damp = b.vfp("damp")
+        b.li(base, particles)
+        t = b.vint("t")
+        b.li(t, 1)
+        b.cvtif(half, t)
+        c2 = b.vfp("c2")
+        b.li(t, 2)
+        b.cvtif(c2, t)
+        b.fdiv(half, half, c2)  # 0.5
+        b.li(t, 31)
+        b.cvtif(damp, t)
+        b.li(t, 32)
+        c32 = b.vfp("c32")
+        b.cvtif(c32, t)
+        b.fdiv(damp, damp, c32)  # 31/32
+
+        b.li(i, 0)
+        with b.loop_until(i, steps):
+            p = b.vint("p")
+            idx = b.vint("idx")
+            # Stride through the particle array with a mid-size step so
+            # several cache blocks stay live but pages are revisited.
+            b.slli(idx, i, 4)
+            b.andi(idx, idx, PARTICLES * 16 - 1)
+            b.add(p, base, idx)
+            x = b.vfp("x")
+            v = b.vfp("v")
+            e = b.vfp("e")
+            w = b.vfp("w")
+            b.lfw(x, p, 0)
+            b.lfw(v, p, 4)
+            b.lfw(e, p, 8)
+            b.lfw(w, p, 12)
+            # Dependent FP chain: scatter/absorb update.
+            b.fmul(v, v, damp)
+            b.fadd(x, x, v)
+            b.fmul(e, e, half)
+            b.fadd(e, e, w)
+            b.fmul(w, w, damp)
+            b.fadd(w, w, half)
+            q = b.vfp("q")
+            b.fadd(q, e, w)
+            b.fdiv(e, e, q)
+            # Data-dependent FP branch: did the particle absorb?
+            cond = b.vint("cond")
+            b.flt(cond, e, half)
+            absorb = b.fresh_label()
+            done = b.fresh_label()
+            b.bne(cond, 0, absorb)
+            b.fadd(x, x, e)
+            b.j(done)
+            b.bind(absorb)
+            b.fsub(x, x, e)
+            b.fadd(e, e, half)
+            b.bind(done)
+            b.sfw(x, p, 0)
+            b.sfw(v, p, 4)
+            b.sfw(e, p, 8)
+            b.sfw(w, p, 12)
+            b.addi(i, i, 1)
+        b.halt()

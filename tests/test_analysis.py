@@ -1,0 +1,128 @@
+"""Tests for the analysis package (reuse distance, spatial, demand)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.demand import demand_profile
+from repro.analysis.reusedist import StackDistanceAnalyzer, lru_miss_curve
+from repro.analysis.spatial import profile_workload
+from repro.eval.runner import RunRequest, run_one
+from repro.tlb.storage import FullyAssocTLB
+
+
+class TestStackDistance:
+    def test_cold_references_counted(self):
+        a = StackDistanceAnalyzer()
+        for page in (1, 2, 3):
+            assert a.touch(page) is None
+        assert a.cold == 3
+
+    def test_immediate_reuse_distance_zero(self):
+        a = StackDistanceAnalyzer()
+        a.touch(1)
+        assert a.touch(1) == 0
+
+    def test_distance_counts_distinct_intervening_pages(self):
+        a = StackDistanceAnalyzer()
+        for page in (1, 2, 3, 2, 1):
+            a.touch(page)
+        # Last touch of 1: pages {2, 3} intervened -> distance 2.
+        assert a.histogram.get(2) == 1
+
+    def test_repeated_intervening_page_counted_once(self):
+        a = StackDistanceAnalyzer()
+        for page in (1, 2, 2, 2, 1):
+            a.touch(page)
+        assert a.touch(1) == 0
+        assert a.histogram.get(1) == 1  # the 1...2,2,2...1 reuse
+
+    def test_miss_rate_semantics(self):
+        a = StackDistanceAnalyzer()
+        # Cyclic sweep over 3 pages: distance always 2.
+        for _ in range(10):
+            for page in (1, 2, 3):
+                a.touch(page)
+        assert a.miss_rate(2) == pytest.approx((3 + 27) / 30)  # all miss
+        assert a.miss_rate(3) == pytest.approx(3 / 30)  # only cold miss
+
+    def test_distinct_pages(self):
+        a = StackDistanceAnalyzer()
+        for page in (5, 6, 5, 7):
+            a.touch(page)
+        assert a.distinct_pages() == 3
+
+    def test_capacity_overflow_guarded(self):
+        a = StackDistanceAnalyzer(expected_references=4)
+        for page in range(4):
+            a.touch(page)
+        with pytest.raises(OverflowError):
+            a.touch(9)
+
+    @given(
+        pages=st.lists(st.integers(0, 12), min_size=1, max_size=300),
+        capacity=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_lru_tlb_simulation(self, pages, capacity):
+        """The analytic LRU miss rate must equal a simulated LRU TLB."""
+        tlb = FullyAssocTLB(capacity, replacement="lru")
+        misses = 0
+        for page in pages:
+            if not tlb.probe(page):
+                misses += 1
+                tlb.insert(page)
+        curve = lru_miss_curve(pages, capacities=(capacity,))
+        assert curve[capacity] == pytest.approx(misses / len(pages))
+
+    def test_curve_monotone_nonincreasing(self):
+        pages = [i % 17 for i in range(500)] + [i % 5 for i in range(200)]
+        curve = lru_miss_curve(pages)
+        rates = [curve[c] for c in sorted(curve)]
+        assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+
+
+class TestSpatialProfile:
+    def test_profile_fields_populated(self):
+        profile = profile_workload("espresso", max_instructions=10_000)
+        assert profile.references > 0
+        assert profile.distinct_pages > 0
+        assert 0.0 <= profile.same_page_adjacent <= 1.0
+        assert 0.0 <= profile.base_register_page_reuse <= 1.0
+        assert "heap" in profile.pages_by_region
+
+    def test_pointer_workload_has_high_base_register_reuse(self):
+        """xlisp re-dereferences the same pointers constantly."""
+        profile = profile_workload("xlisp", max_instructions=15_000)
+        assert profile.base_register_page_reuse > 0.3
+
+    def test_spill_region_appears_at_tight_budget(self):
+        profile = profile_workload(
+            "doduc", max_instructions=15_000, int_regs=8, fp_regs=8
+        )
+        assert profile.pages_by_region.get("spill", 0) >= 1
+
+    def test_streaming_workload_has_adjacency(self):
+        profile = profile_workload("ghostscript", max_instructions=15_000)
+        assert profile.same_page_adjacent > 0.5
+
+
+class TestDemandProfile:
+    def test_profile_from_run(self):
+        res = run_one(RunRequest(workload="espresso", design="T4", max_instructions=10_000))
+        profile = demand_profile(res)
+        assert profile.active_cycles > 0
+        assert profile.mean_per_active_cycle >= 1.0
+        assert 0.0 <= profile.fraction_needing_ports(1) <= 1.0
+        assert profile.fraction_needing_ports(8) == 0.0
+
+    def test_bandwidth_hungry_workload_needs_multiple_ports(self):
+        res = run_one(RunRequest(workload="espresso", design="T4", max_instructions=10_000))
+        profile = demand_profile(res)
+        # espresso issues bursts of cube loads: >1 request/cycle often.
+        assert profile.fraction_needing_ports(1) > 0.3
+
+    def test_render(self):
+        res = run_one(RunRequest(workload="espresso", design="T4", max_instructions=5_000))
+        text = demand_profile(res).render()
+        assert "req/cycle" in text

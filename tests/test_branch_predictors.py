@@ -1,0 +1,108 @@
+"""Tests for the branch predictors."""
+
+import pytest
+
+from repro.branch.predictors import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    GApPredictor,
+)
+from repro.caches.replacement import XorShift32
+
+
+def _accuracy(predictor, stream):
+    correct = 0
+    for pc, taken in stream:
+        if predictor.predict(pc) == taken:
+            correct += 1
+        predictor.update(pc, taken)
+    return correct / len(stream)
+
+
+class TestAlwaysTaken:
+    def test_predicts_taken(self):
+        p = AlwaysTakenPredictor()
+        assert p.predict(0x400000) is True
+        p.update(0x400000, False)
+        assert p.predict(0x400000) is True
+
+
+class TestBimodal:
+    def test_learns_constant_direction(self):
+        p = BimodalPredictor(64)
+        stream = [(0x1000, True)] * 50
+        assert _accuracy(p, stream) > 0.9
+
+    def test_two_bit_hysteresis_survives_single_flip(self):
+        p = BimodalPredictor(64)
+        for _ in range(4):
+            p.update(0x1000, True)
+        p.update(0x1000, False)  # one anomaly
+        assert p.predict(0x1000) is True
+
+    def test_counters_saturate(self):
+        p = BimodalPredictor(64)
+        for _ in range(100):
+            p.update(0x1000, False)
+        p.update(0x1000, True)
+        assert p.predict(0x1000) is False  # still below threshold
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(100)
+
+
+class TestGAp:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            GApPredictor(history_bits=0)
+        with pytest.raises(ValueError):
+            GApPredictor(pht_entries=1000)
+        with pytest.raises(ValueError):
+            GApPredictor(history_bits=14, pht_entries=4096)
+
+    def test_learns_loop_pattern(self):
+        """A loop branch taken 7 times then not taken (period 8) is
+        perfectly predictable with 8 bits of history once warm."""
+        p = GApPredictor()
+        pattern = [True] * 7 + [False]
+        stream = [(0x4000, t) for _ in range(40) for t in pattern]
+        warmup, test = stream[:80], stream[80:]
+        _accuracy(p, warmup)
+        assert _accuracy(p, test) > 0.95
+
+    def test_learns_alternating_pattern(self):
+        p = GApPredictor()
+        stream = [(0x4000, bool(i % 2)) for i in range(200)]
+        _accuracy(p, stream[:100])  # warm up
+        assert _accuracy(p, stream[100:]) > 0.95
+
+    def test_random_stream_near_chance(self):
+        rng = XorShift32(99)
+        p = GApPredictor()
+        stream = [(0x4000, bool(rng.next() & 1)) for _ in range(2000)]
+        acc = _accuracy(p, stream)
+        assert 0.3 < acc < 0.7
+
+    def test_distinct_pcs_use_distinct_columns(self):
+        """Two branches with opposite constant outcomes must not destroy
+        each other (they map to different per-address PHT columns)."""
+        p = GApPredictor()
+        stream = []
+        for _ in range(100):
+            stream.append((0x4000, True))
+            stream.append((0x4004, False))
+        _accuracy(p, stream)
+        tail = []
+        for _ in range(20):
+            tail.append((0x4000, True))
+            tail.append((0x4004, False))
+        assert _accuracy(p, tail) > 0.9
+
+    def test_history_updates_on_update_only(self):
+        p = GApPredictor()
+        before = p._history
+        p.predict(0x4000)
+        assert p._history == before
+        p.update(0x4000, True)
+        assert p._history == ((before << 1) | 1) & ((1 << p.history_bits) - 1)

@@ -1,0 +1,56 @@
+"""Tests for the reproduction scorecard machinery."""
+
+import pytest
+
+from repro.eval.claims import CLAIMS, Claim, ScorecardResult, run_scorecard
+
+
+class TestClaimSet:
+    def test_claims_cover_the_key_sections(self):
+        sources = {c.source.split(" ")[0] for c in CLAIMS}
+        assert "§4.3" in sources  # baseline figure
+        assert "§4.4" in sources  # in-order
+        assert "§4.6" in sources  # fewer registers
+
+    def test_keys_unique(self):
+        keys = [c.key for c in CLAIMS]
+        assert len(keys) == len(set(keys))
+
+    def test_at_least_a_dozen_claims(self):
+        assert len(CLAIMS) >= 12
+
+
+class TestScorecard:
+    @pytest.fixture(scope="class")
+    def scorecard(self):
+        # Three workloads across the locality regimes keep this quick
+        # while exercising every claim's inputs.
+        return run_scorecard(
+            max_instructions=8_000,
+            workloads=["espresso", "xlisp", "compress", "tomcatv"],
+        )
+
+    def test_runs_and_scores(self, scorecard):
+        assert isinstance(scorecard, ScorecardResult)
+        assert len(scorecard.passed) + len(scorecard.failed) == len(CLAIMS)
+
+    def test_most_claims_hold_even_at_small_budget(self, scorecard):
+        """At tiny budgets some ordinal claims may wobble, but the large
+        majority must hold or the reproduction is broken."""
+        assert len(scorecard.passed) >= len(CLAIMS) - 3, scorecard.render()
+
+    def test_core_claims_always_hold(self, scorecard):
+        held = {c.key for c in scorecard.passed}
+        for key in ("t4-dominates", "ports-monotone", "pb2-near-t4"):
+            assert key in held, scorecard.render()
+
+    def test_render(self, scorecard):
+        text = scorecard.render()
+        assert "PASS" in text
+        assert "/" in scorecard.score
+
+
+class TestClaimObject:
+    def test_custom_claim(self):
+        claim = Claim("x", "§0", "always true", lambda a, b, c: True)
+        assert claim.check(None, None, None)

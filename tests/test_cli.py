@@ -1,0 +1,77 @@
+"""Tests for both command-line interfaces."""
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.eval.__main__ import main as eval_main
+
+
+class TestReproCli:
+    def test_list(self, capsys):
+        assert repro_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "xlisp" in out and "T4" in out and "BAC32" in out
+
+    def test_run(self, capsys):
+        assert repro_main(["run", "espresso", "M8", "--insts", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "f_shielded" in out
+
+    def test_run_inorder_and_pages(self, capsys):
+        assert (
+            repro_main(
+                ["run", "espresso", "T1", "--insts", "3000", "--inorder", "--pages", "8192"]
+            )
+            == 0
+        )
+        assert "cycles" in capsys.readouterr().out
+
+    def test_profile(self, capsys):
+        assert repro_main(["profile", "espresso", "--insts", "3000"]) == 0
+        assert "distinct pages" in capsys.readouterr().out
+
+    def test_misscurve(self, capsys):
+        assert repro_main(["misscurve", "espresso", "--insts", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "128 entries" in out
+
+    def test_demand(self, capsys):
+        assert repro_main(["demand", "espresso", "T4", "--insts", "3000"]) == 0
+        assert "req/cycle" in capsys.readouterr().out
+
+    def test_disasm(self, capsys):
+        assert repro_main(["disasm", "perl", "--max-lines", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "lw" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            repro_main(["frobnicate"])
+
+
+class TestEvalCli:
+    def test_table3(self, capsys):
+        assert eval_main(["table3", "--insts", "3000", "--workloads", "espresso"]) == 0
+        assert "espresso" in capsys.readouterr().out
+
+    def test_figure_subset(self, capsys):
+        code = eval_main(
+            [
+                "figure5",
+                "--insts",
+                "3000",
+                "--designs",
+                "T1",
+                "--workloads",
+                "espresso",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "T4" in out and "T1" in out
+
+    def test_figure6(self, capsys):
+        # figure6 clamps the budget upward internally; keep workloads few.
+        assert eval_main(["figure6", "--workloads", "espresso,doduc"]) == 0
+        assert "RTW Avg" in capsys.readouterr().out

@@ -1,0 +1,102 @@
+"""Tests for the cost model and the pipeline-trace debug tool."""
+
+import pytest
+
+from repro.engine.config import MachineConfig
+from repro.engine.pipeview import PipelineTrace
+from repro.func.executor import Executor
+from repro.isa.assembler import assemble
+from repro.tlb.costmodel import cost_table, design_cost
+from repro.tlb.factory import DESIGN_MNEMONICS, make_mechanism
+
+
+class TestCostModel:
+    @pytest.mark.parametrize("mnemonic", DESIGN_MNEMONICS)
+    def test_every_table2_design_costed(self, mnemonic):
+        cost = design_cost(mnemonic)
+        assert cost.area > 0 and cost.hit_latency > 0
+
+    def test_multiport_area_scales_quadratically(self):
+        t1 = design_cost("T1")
+        t2 = design_cost("T2")
+        t4 = design_cost("T4")
+        assert t2.area == pytest.approx(4 * t1.area)
+        assert t4.area == pytest.approx(16 * t1.area)
+
+    def test_multiport_latency_grows_with_ports(self):
+        assert design_cost("T4").hit_latency > design_cost("T2").hit_latency
+        assert design_cost("T2").hit_latency > design_cost("T1").hit_latency
+
+    def test_alternatives_cheaper_than_t4(self):
+        """The paper's core claim: every proposed design beats T4 on
+        both area and hit latency."""
+        t4 = design_cost("T4")
+        for mnemonic in ("I4", "I8", "M8", "P8", "PB2", "PB1", "I4/PB"):
+            cost = design_cost(mnemonic)
+            assert cost.area < t4.area, mnemonic
+            assert cost.hit_latency < t4.hit_latency, mnemonic
+
+    def test_piggyback_adds_no_latency_over_same_port_count(self):
+        assert design_cost("PB1").hit_latency == design_cost("T1").hit_latency
+        assert design_cost("PB2").hit_latency == design_cost("T2").hit_latency
+
+    def test_piggyback_area_is_marginal(self):
+        assert design_cost("PB1").area < design_cost("T1").area * 1.01
+
+    def test_pretranslation_fastest_hit_path(self):
+        """P8's translation is ready at decode: the paper's 'decreased
+        access latency for physically indexed caches'."""
+        p8 = design_cost("P8")
+        others = [design_cost(m).hit_latency for m in ("T1", "T2", "M8", "I4")]
+        assert p8.hit_latency < min(others)
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError):
+            design_cost("Z1")
+
+    def test_cost_table_renders(self):
+        text = cost_table(DESIGN_MNEMONICS)
+        assert "T4" in text and "I4/PB" in text
+
+
+class TestPipelineTrace:
+    def _capture(self, asm, design="T4", limit=32):
+        prog = assemble(asm)
+        config = MachineConfig()
+        mech = make_mechanism(design, config.page_shift)
+        return PipelineTrace.capture(config, mech, Executor(prog).run(), limit=limit)
+
+    def test_stage_order_invariant(self):
+        view = self._capture(
+            "lui r2, 0x2000\nlw r1, 0(r2)\nadd r3, r1, r1\nsw r3, 4(r2)\nhalt"
+        )
+        for t in view.timelines:
+            assert t.dispatch <= t.issue <= t.complete <= t.commit
+
+    def test_dependent_instruction_issues_after_producer_completes(self):
+        view = self._capture("lui r2, 0x2000\nlw r1, 0(r2)\nadd r3, r1, r1\nhalt")
+        load = view.of(1)
+        add = view.of(2)
+        assert add.issue >= load.complete
+
+    def test_single_ported_tlb_staggers_parallel_loads(self):
+        asm = "lui r2, 0x2000\nlw r3, 0(r2)\nlw r4, 4(r2)\nlw r5, 8(r2)\nhalt"
+        t4 = self._capture(asm, "T4")
+        t1 = self._capture(asm, "T1")
+        t4_spread = t4.of(3).complete - t4.of(1).complete
+        t1_spread = t1.of(3).complete - t1.of(1).complete
+        assert t1_spread > t4_spread
+
+    def test_render_contains_stage_marks(self):
+        view = self._capture("addi r1, r0, 1\nadd r2, r1, r1\nhalt")
+        text = view.render()
+        assert "D" in text and "R" in text
+
+    def test_limit_respected(self):
+        view = self._capture("\n".join(["nop"] * 30) + "\nhalt", limit=8)
+        assert len(view.timelines) == 8
+
+    def test_of_unknown_seq(self):
+        view = self._capture("halt")
+        with pytest.raises(KeyError):
+            view.of(99)

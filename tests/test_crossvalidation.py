@@ -1,0 +1,79 @@
+"""Cross-validation between the independent models.
+
+The trace-driven miss-rate study (Figure 6 machinery), the analytic
+stack-distance curves, and the timing machine's shielding counters are
+three separate implementations that must agree on the same underlying
+quantity — the L1-TLB hit rate of a reference stream.  These tests pin
+them against each other.
+"""
+
+import pytest
+
+from repro.analysis.reusedist import StackDistanceAnalyzer
+from repro.engine.config import MachineConfig
+from repro.engine.machine import Machine
+from repro.eval.missrates import measure_miss_rates
+from repro.func.executor import Executor
+from repro.tlb.multilevel import MultiLevelTLB
+from repro.workloads import make_workload
+
+BUDGET = 25_000
+
+
+def _timing_shield_fraction(workload: str, l1_entries: int) -> float:
+    """M-design shielded fraction from a wrong-path-free timing run."""
+    build = make_workload(workload).build()
+    config = MachineConfig(model_wrong_path=False)
+    mech = MultiLevelTLB(l1_entries=l1_entries, page_shift=config.page_shift)
+    trace = Executor(build.program, build.memory.clone()).run(max_instructions=BUDGET)
+    Machine(config, mech, trace).run()
+    return mech.stats.shielded_fraction
+
+
+def _trace_miss_rate(workload: str, size: int) -> float:
+    row = measure_miss_rates(workload, sizes=(size,), max_instructions=BUDGET)
+    return row.miss_rate[size]
+
+
+def _analytic_miss_rate(workload: str, size: int) -> float:
+    build = make_workload(workload).build()
+    analyzer = StackDistanceAnalyzer()
+    for dyn in Executor(build.program, build.memory).run(max_instructions=BUDGET):
+        if dyn.ea is not None:
+            analyzer.touch(dyn.ea >> 12)
+    return analyzer.miss_rate(size)
+
+
+class TestThreeModelsAgree:
+    @pytest.mark.parametrize("workload", ["espresso", "tomcatv", "compress"])
+    @pytest.mark.parametrize("size", [4, 16])
+    def test_stack_distance_equals_simulated_lru(self, workload, size):
+        """Mattson analysis must match the LRU-TLB simulation *exactly*
+        (same stream, same replacement discipline)."""
+        trace = _trace_miss_rate(workload, size)
+        analytic = _analytic_miss_rate(workload, size)
+        assert analytic == pytest.approx(trace, abs=1e-9)
+
+    @pytest.mark.parametrize(
+        "workload,size", [("espresso", 16), ("tomcatv", 16), ("xlisp", 16)]
+    )
+    def test_timing_shield_tracks_trace_hit_rate(self, workload, size):
+        """The timing machine's shielded fraction differs from the
+        trace-driven L1 hit rate only through overlap effects (multiple
+        in-flight misses to one page before the fill lands), so it must
+        be bounded above by the trace hit rate and not far below it."""
+        shield = _timing_shield_fraction(workload, size)
+        trace_hit = 1.0 - _trace_miss_rate(workload, size)
+        assert shield <= trace_hit + 0.01
+        # The gap is largest for scattered pointer chains (xlisp):
+        # bursts of same-page accesses all miss the L1 before the single
+        # L2 port delivers the fill, so the timing model sees several
+        # misses where the sequential trace model sees one.
+        assert shield >= trace_hit - 0.35
+
+    def test_dense_workload_agrees_tightly(self):
+        """With near-zero miss rates there is no overlap effect to
+        diverge on: the two models must agree within a point."""
+        shield = _timing_shield_fraction("tomcatv", 16)
+        trace_hit = 1.0 - _trace_miss_rate("tomcatv", 16)
+        assert shield == pytest.approx(trace_hit, abs=0.02)

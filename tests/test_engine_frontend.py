@@ -1,0 +1,116 @@
+"""Tests for the fetch front end (collapsing buffer, I-cache, prediction)."""
+
+from repro.branch.predictors import AlwaysTakenPredictor, GApPredictor
+from repro.caches.cache import SetAssocCache
+from repro.engine.config import MachineConfig
+from repro.engine.frontend import FrontEnd
+from repro.engine.stats import MachineStats
+from repro.func.executor import Executor
+from repro.isa.assembler import assemble
+
+
+def _frontend(asm: str, predictor=None, config=None):
+    config = config or MachineConfig()
+    prog = assemble(asm)
+    trace = Executor(prog).run()
+    stats = MachineStats()
+    icache = SetAssocCache(config.icache_size, config.icache_assoc, config.icache_block)
+    fe = FrontEnd(trace, config, predictor or GApPredictor(), icache, stats)
+    return fe, stats
+
+
+class TestGroups:
+    def test_straightline_group_of_eight(self):
+        fe, _ = _frontend("\n".join(["nop"] * 12) + "\nhalt")
+        # First access misses the I-cache: stalled for 6 cycles.
+        assert fe.fetch_group(0) is None
+        group = fe.fetch_group(6)
+        assert group is not None and len(group.insts) == 8
+
+    def test_group_stops_at_block_boundary(self):
+        # Code base is block-aligned; 8 insts = exactly one 32-byte block,
+        # so a group can never span two blocks.  Each new block pays a
+        # cold I-cache miss (6 cycles) before its group is delivered.
+        fe, _ = _frontend("\n".join(["nop"] * 20) + "\nhalt")
+        fe.fetch_group(0)
+        g1 = fe.fetch_group(6)
+        assert fe.fetch_group(7) is None  # next block: cold I-miss
+        g2 = fe.fetch_group(13)
+        blocks1 = {d.pc >> 5 for d in g1.insts}
+        blocks2 = {d.pc >> 5 for d in g2.insts}
+        assert len(blocks1) == 1 and len(blocks2) == 1 and blocks1 != blocks2
+
+    def test_icache_miss_stalls_six_cycles(self):
+        fe, stats = _frontend("nop\nhalt")
+        assert fe.fetch_group(0) is None
+        assert fe.fetch_group(3) is None
+        assert fe.fetch_group(6) is not None
+        assert stats.frontend_stall_cycles >= 1
+
+    def test_two_predictions_per_cycle_limit(self):
+        # Three never-taken branches in one block, with a predictor that
+        # predicts them correctly: the group must still stop after the
+        # second prediction (collapsing-buffer limit).
+        class NeverTaken(GApPredictor):
+            def predict(self, pc):
+                return False
+
+        asm = """
+            bne r0, r0, out
+            bne r0, r0, out
+            bne r0, r0, out
+            nop
+        out:
+            halt
+        """
+        fe, stats = _frontend(asm, predictor=NeverTaken())
+        fe.fetch_group(0)
+        group = fe.fetch_group(6)
+        assert len(group.insts) == 2
+        assert not group.mispredicted_tail
+        assert stats.branches == 2
+
+    def test_mispredict_blocks_until_resolved(self):
+        # GAp initializes weakly-taken; a never-taken branch mispredicts
+        # on first sight.
+        asm = "bne r0, r0, out\nnop\nout:\nhalt"
+        fe, stats = _frontend(asm)
+        fe.fetch_group(0)
+        group = fe.fetch_group(6)
+        assert group.mispredicted_tail
+        fe.block_for_branch()
+        assert fe.fetch_group(7) is None  # waiting for resolution
+        fe.resolve_branch(resume_cycle=12)
+        assert fe.fetch_group(11) is None
+        assert fe.fetch_group(12) is not None
+        assert stats.mispredicts == 1
+
+    def test_correctly_predicted_taken_branch_cross_block_ends_group(self):
+        asm = "j far\nnop\nnop\nnop\nnop\nnop\nnop\nnop\nfar:\nhalt"
+        fe, stats = _frontend(asm, predictor=AlwaysTakenPredictor())
+        fe.fetch_group(0)
+        group = fe.fetch_group(6)
+        # The jump's target (index 8) is in the next block: group ends.
+        assert len(group.insts) == 1
+        assert stats.jumps == 1
+
+    def test_intra_block_taken_branch_continues_group(self):
+        asm = """
+            j near
+            nop
+        near:
+            nop
+            halt
+        """
+        fe, _ = _frontend(asm, predictor=AlwaysTakenPredictor())
+        fe.fetch_group(0)
+        group = fe.fetch_group(6)
+        # j (index 0) and its intra-block target (index 2) fetch together.
+        assert [d.pc for d in group.insts][:2] == [0x400000, 0x400008]
+
+    def test_exhausted(self):
+        fe, _ = _frontend("halt")
+        assert not fe.exhausted()
+        fe.fetch_group(0)
+        fe.fetch_group(6)
+        assert fe.exhausted()

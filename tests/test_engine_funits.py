@@ -1,0 +1,88 @@
+"""Tests for functional-unit scheduling and machine configuration."""
+
+import pytest
+
+from repro.engine.config import MachineConfig
+from repro.engine.funits import FunctionalUnitPool
+from repro.isa.opcodes import OpClass
+
+
+@pytest.fixture
+def pool():
+    return FunctionalUnitPool(MachineConfig())
+
+
+class TestConfig:
+    def test_defaults_match_table1(self):
+        cfg = MachineConfig()
+        assert cfg.fetch_width == 8
+        assert cfg.rob_entries == 64
+        assert cfg.lsq_entries == 32
+        assert cfg.tlb_miss_latency == 30
+        assert cfg.mispredict_penalty == 3
+        assert cfg.dcache_size == 32 * 1024
+        assert cfg.fu_specs["ialu"].units == 8
+        assert cfg.fu_specs["ldst"].units == 4
+
+    def test_page_shift(self):
+        assert MachineConfig().page_shift == 12
+        assert MachineConfig(page_size=8192).page_shift == 13
+
+    def test_bad_issue_model_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(issue_model="vliw")
+
+    def test_bad_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(page_size=5000)
+
+
+class TestLatencies:
+    def test_table1_latencies(self, pool):
+        assert pool.latency_of(OpClass.IALU) == 1
+        assert pool.latency_of(OpClass.LOAD) == 2
+        assert pool.latency_of(OpClass.STORE) == 2
+        assert pool.latency_of(OpClass.IMULT) == 3
+        assert pool.latency_of(OpClass.IDIV) == 12
+        assert pool.latency_of(OpClass.FPADD) == 2
+        assert pool.latency_of(OpClass.FPMULT) == 4
+        assert pool.latency_of(OpClass.FPDIV) == 12
+
+
+class TestScheduling:
+    def test_eight_alus_per_cycle(self, pool):
+        for _ in range(8):
+            assert pool.can_issue(OpClass.IALU, 0)
+            pool.issue(OpClass.IALU, 0)
+        assert not pool.can_issue(OpClass.IALU, 0)
+        assert pool.can_issue(OpClass.IALU, 1)
+
+    def test_four_ldst_units(self, pool):
+        for _ in range(4):
+            pool.issue(OpClass.LOAD, 0)
+        assert not pool.can_issue(OpClass.STORE, 0)  # shared unit class
+
+    def test_pipelined_units_free_next_cycle(self, pool):
+        pool.issue(OpClass.FPMULT, 0)
+        assert pool.can_issue(OpClass.FPMULT, 1)
+
+    def test_divider_blocks_for_full_latency(self, pool):
+        done = pool.issue(OpClass.IDIV, 0)
+        assert done == 12
+        assert not pool.can_issue(OpClass.IDIV, 5)
+        assert not pool.can_issue(OpClass.IMULT, 5)  # same physical unit
+        assert pool.can_issue(OpClass.IDIV, 12)
+
+    def test_fp_divider_blocks_fp_multiplier(self, pool):
+        pool.issue(OpClass.FPDIV, 0)
+        assert not pool.can_issue(OpClass.FPMULT, 6)
+        assert pool.can_issue(OpClass.FPMULT, 12)
+
+    def test_issue_without_free_unit_raises(self, pool):
+        pool.issue(OpClass.IDIV, 0)
+        with pytest.raises(RuntimeError):
+            pool.issue(OpClass.IDIV, 3)
+
+    def test_branches_use_alus(self, pool):
+        assert FunctionalUnitPool.unit_class(OpClass.BRANCH) == "ialu"
+        assert FunctionalUnitPool.unit_class(OpClass.JUMP) == "ialu"

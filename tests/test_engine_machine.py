@@ -1,0 +1,242 @@
+"""Integration tests for the cycle-level machine.
+
+These drive small assembled programs through the full engine and check
+timing semantics: completion ordering, TLB-miss charging, port-stall
+effects, in-order vs out-of-order behaviour, and determinism.
+"""
+
+import pytest
+
+from repro.engine.config import MachineConfig
+from repro.engine.machine import Machine
+from repro.func.executor import Executor
+from repro.isa.assembler import assemble
+from repro.isa.builder import ProgramBuilder
+from repro.mem.memory import SparseMemory
+from repro.tlb.factory import make_mechanism
+from repro.tlb.multiported import PerfectTLB
+
+
+def _run_asm(asm, design="T4", memory=None, issue_model="ooo", config=None):
+    prog = assemble(asm)
+    cfg = config or MachineConfig(issue_model=issue_model)
+    mech = (
+        make_mechanism(design, cfg.page_shift)
+        if design != "PERFECT"
+        else PerfectTLB(cfg.page_shift)
+    )
+    ex = Executor(prog, memory)
+    machine = Machine(cfg, mech, ex.run())
+    return machine.run()
+
+
+def _stride_program(iters=400, unroll=4, stride=4):
+    """Independent unrolled loads: saturates translation bandwidth."""
+    b = ProgramBuilder("stride")
+    base = b.vint("base")
+    i = b.vint("i")
+    acc = [b.vint(f"acc{k}") for k in range(unroll)]
+    b.li(base, 0x2000_0000)
+    for a in acc:
+        b.li(a, 0)
+    b.li(i, 0)
+    with b.loop_until(i, iters):
+        t = [b.vint(f"t{k}") for k in range(unroll)]
+        for k in range(unroll):
+            b.lw(t[k], base, k * stride)
+            b.add(acc[k], acc[k], t[k])
+        b.addi(base, base, unroll * stride)
+        b.addi(i, i, 1)
+    b.halt()
+    return b.build()
+
+
+def _run_prog(prog, design="T4", issue_model="ooo", page_size=4096):
+    cfg = MachineConfig(issue_model=issue_model, page_size=page_size)
+    mech = make_mechanism(design, cfg.page_shift)
+    ex = Executor(prog)
+    return Machine(cfg, mech, ex.run()).run()
+
+
+class TestBasicExecution:
+    def test_all_instructions_commit(self):
+        res = _run_asm("addi r1, r0, 1\nadd r2, r1, r1\nhalt")
+        assert res.stats.committed == 3
+
+    def test_cycle_count_positive_and_bounded(self):
+        res = _run_asm("\n".join(["nop"] * 64) + "\nhalt")
+        # 65 instructions on an 8-wide machine: at least 9 cycles, and
+        # well under one cycle per instruction plus cold-start stalls.
+        assert 9 <= res.cycles < 120
+
+    def test_dependent_chain_respects_latency(self):
+        # 20 dependent adds must take at least 20 cycles.
+        asm = "\n".join(["add r1, r1, r1"] * 20) + "\nhalt"
+        res = _run_asm(asm)
+        assert res.cycles >= 20
+
+    def test_loads_and_stores_counted(self):
+        mem = SparseMemory()
+        res = _run_asm(
+            "lui r2, 0x2000\nlw r1, 0(r2)\nsw r1, 4(r2)\nhalt", memory=mem
+        )
+        assert res.stats.loads == 1
+        assert res.stats.stores == 1
+
+    def test_determinism(self):
+        prog = _stride_program(iters=50)
+        a = _run_prog(prog, "M8")
+        b = _run_prog(prog, "M8")
+        assert a.cycles == b.cycles
+        assert a.stats.translation.shielded == b.stats.translation.shielded
+
+
+class TestTranslationTiming:
+    def test_tlb_miss_costs_about_30_cycles(self):
+        mem = SparseMemory()
+        base = "lui r2, 0x2000\n"
+        one = _run_asm(base + "lw r1, 0(r2)\nhalt", memory=mem, design="T4")
+        two = _run_asm(
+            base + "lw r1, 0(r2)\nlw r3, 0x1000(r2)\nhalt",
+            memory=SparseMemory(),
+            design="T4",
+        )
+        # The second load touches a new page: one extra 30-cycle walk.
+        assert two.cycles - one.cycles >= 25
+        assert two.stats.tlb_miss_services == 2
+
+    def test_perfect_tlb_faster_than_t1_under_pressure(self):
+        prog = _stride_program(iters=200, unroll=4)
+        cfg = MachineConfig()
+        perfect = Machine(cfg, PerfectTLB(cfg.page_shift), Executor(prog).run()).run()
+        t1 = _run_prog(prog, "T1")
+        assert perfect.cycles < t1.cycles
+
+    def test_t4_never_slower_than_t1(self):
+        prog = _stride_program(iters=200)
+        assert _run_prog(prog, "T4").cycles <= _run_prog(prog, "T1").cycles
+
+    def test_port_stalls_recorded_for_t1(self):
+        prog = _stride_program(iters=200)
+        res = _run_prog(prog, "T1")
+        assert res.stats.translation.port_stall_cycles > 0
+
+    def test_piggyback_recovers_single_port_bandwidth(self):
+        # Unrolled same-page loads: PB1 combines them, T1 serializes.
+        prog = _stride_program(iters=200, unroll=4, stride=4)
+        t1 = _run_prog(prog, "T1")
+        pb1 = _run_prog(prog, "PB1")
+        assert pb1.cycles < t1.cycles
+        assert pb1.stats.translation.piggybacked > 0
+
+    def test_multilevel_shields_l2(self):
+        prog = _stride_program(iters=200)
+        res = _run_prog(prog, "M8")
+        t = res.stats.translation
+        assert t.shielded_fraction > 0.8
+        assert t.base_probes < t.requests
+
+    def test_dispatch_stalls_while_tlb_miss_pending(self):
+        prog = _stride_program(iters=100, stride=4096)  # new page often
+        res = _run_prog(prog, "T4")
+        assert res.stats.tlb_dispatch_stall_cycles > 0
+
+    def test_page_size_8k_halves_walks(self):
+        prog = _stride_program(iters=256, unroll=4, stride=64)
+        small = _run_prog(prog, "T4", page_size=4096)
+        big = _run_prog(prog, "T4", page_size=8192)
+        assert big.stats.tlb_miss_services < small.stats.tlb_miss_services
+
+
+class TestIssueModels:
+    def test_inorder_never_faster_than_ooo(self):
+        prog = _stride_program(iters=200)
+        ooo = _run_prog(prog, "T4", issue_model="ooo")
+        ino = _run_prog(prog, "T4", issue_model="inorder")
+        assert ino.cycles >= ooo.cycles
+
+    def test_inorder_stalls_on_waw(self):
+        # A long-latency divide followed by a WAW write to the same
+        # register: in-order issue must not reorder the write.
+        asm = """
+            addi r2, r0, 100
+            addi r3, r0, 3
+            div r1, r2, r3
+            addi r1, r0, 5
+            halt
+        """
+        ooo = _run_asm(asm, issue_model="ooo")
+        ino = _run_asm(asm, issue_model="inorder")
+        assert ino.cycles >= ooo.cycles
+
+    def test_inorder_commits_everything(self):
+        prog = _stride_program(iters=60)
+        res = _run_prog(prog, "M4", issue_model="inorder")
+        assert res.stats.committed == len(list(Executor(prog).run()))
+
+
+class TestBranches:
+    def test_mispredicts_counted_and_penalized(self):
+        # A data-dependent alternating branch is hard for cold GAp.
+        asm = """
+            addi r4, r0, 200
+            addi r1, r0, 0
+        loop:
+            andi r2, r1, 1
+            beq r2, r0, even
+            addi r3, r0, 1
+        even:
+            addi r1, r1, 1
+            bne r1, r4, loop
+            halt
+        """
+        res = _run_asm(asm)
+        assert res.stats.branches > 0
+        assert 0.0 < res.stats.branch_prediction_rate <= 1.0
+
+    def test_store_load_ordering(self):
+        """A load after a store to the same address must see the value
+        (functional), and the machine must still retire everything."""
+        mem = SparseMemory()
+        res = _run_asm(
+            """
+            lui r2, 0x2000
+            addi r1, r0, 42
+            sw r1, 0(r2)
+            lw r3, 0(r2)
+            halt
+            """,
+            memory=mem,
+        )
+        assert res.stats.committed == 5
+        assert mem.load_word(0x2000_0000) == 42
+
+
+class TestWindowLimits:
+    def test_rob_bounds_inflight(self):
+        cfg = MachineConfig(rob_entries=4)
+        prog = _stride_program(iters=50)
+        mech = make_mechanism("T4", cfg.page_shift)
+        res = Machine(cfg, mech, Executor(prog).run()).run()
+        big = _run_prog(prog, "T4")
+        assert res.cycles > big.cycles  # a tiny ROB must hurt
+
+    def test_lsq_bounds_memory_inflight(self):
+        cfg = MachineConfig(lsq_entries=2)
+        prog = _stride_program(iters=50)
+        mech = make_mechanism("T4", cfg.page_shift)
+        res = Machine(cfg, mech, Executor(prog).run()).run()
+        assert res.stats.committed > 0
+
+    def test_page_shift_mismatch_rejected(self):
+        cfg = MachineConfig(page_size=8192)
+        mech = make_mechanism("T4", page_shift=12)
+        with pytest.raises(ValueError):
+            Machine(cfg, mech, iter(()))
+
+    def test_max_cycles_safety_valve(self):
+        cfg = MachineConfig(max_cycles=5)
+        prog = _stride_program(iters=500)
+        mech = make_mechanism("T4", cfg.page_shift)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            Machine(cfg, mech, Executor(prog).run()).run()

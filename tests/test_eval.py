@@ -1,0 +1,143 @@
+"""Tests for the evaluation harness (runner, weighting, experiments,
+miss rates, reporting).
+"""
+
+import pytest
+
+from repro.eval.experiments import EXPERIMENTS, run_experiment, run_figure, run_table3
+from repro.eval.missrates import SIZES, policy_for, run_figure6
+from repro.eval.report import render_figure, render_figure6, render_table3
+from repro.eval.runner import RunRequest, clear_build_cache, run_one
+from repro.eval.weighting import normalized_rtw_average, rtw_average
+
+FAST = dict(max_instructions=4_000)
+TWO_WORKLOADS = ["espresso", "xlisp"]
+
+
+class TestWeighting:
+    def test_rtw_average_weights_correctly(self):
+        values = {"a": 2.0, "b": 4.0}
+        weights = {"a": 1.0, "b": 3.0}
+        assert rtw_average(values, weights) == pytest.approx(3.5)
+
+    def test_rtw_average_validates(self):
+        with pytest.raises(ValueError):
+            rtw_average({}, {})
+        with pytest.raises(ValueError):
+            rtw_average({"a": 1.0}, {"b": 1.0})
+        with pytest.raises(ValueError):
+            rtw_average({"a": 1.0}, {"a": 0.0})
+
+    def test_normalization_reference_is_one(self):
+        ipcs = {"T4": {"w": 2.0}, "T1": {"w": 1.0}}
+        rel = normalized_rtw_average(ipcs, {"w": 100.0})
+        assert rel["T4"] == pytest.approx(1.0)
+        assert rel["T1"] == pytest.approx(0.5)
+
+    def test_missing_reference_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_rtw_average({"T1": {"w": 1.0}}, {"w": 1.0})
+
+
+class TestRunner:
+    def test_run_one_produces_result(self):
+        res = run_one(RunRequest(workload="espresso", design="T4", **FAST))
+        assert res.stats.committed > 0
+        assert res.ipc > 0
+
+    def test_build_cache_reused_across_designs(self):
+        clear_build_cache()
+        run_one(RunRequest(workload="espresso", design="T4", **FAST))
+        from repro.eval.runner import _CACHE
+
+        before = len(_CACHE.builds)
+        run_one(RunRequest(workload="espresso", design="T1", **FAST))
+        assert len(_CACHE.builds) == before
+
+    def test_distinct_budgets_cached_separately(self):
+        clear_build_cache()
+        run_one(RunRequest(workload="espresso", design="T4", **FAST))
+        run_one(
+            RunRequest(workload="espresso", design="T4", int_regs=8, fp_regs=8, **FAST)
+        )
+        from repro.eval.runner import _CACHE
+
+        assert len(_CACHE.builds) == 2
+
+
+class TestExperiments:
+    def test_experiment_specs_cover_figures(self):
+        assert set(EXPERIMENTS) == {"figure5", "figure7", "figure8", "figure9"}
+        assert EXPERIMENTS["figure7"].issue_model == "inorder"
+        assert EXPERIMENTS["figure8"].page_size == 8192
+        assert EXPERIMENTS["figure9"].int_regs == 8
+
+    def test_run_figure_small_grid(self):
+        result = run_figure(
+            "figure5", designs=["T1"], workloads=TWO_WORKLOADS, **FAST
+        )
+        assert result.relative_ipc["T4"] == pytest.approx(1.0)
+        assert 0.1 < result.relative_ipc["T1"] <= 1.05
+        per = result.per_workload_relative("T1")
+        assert set(per) == set(TWO_WORKLOADS)
+
+    def test_t4_always_included(self):
+        result = run_figure("figure5", designs=["PB1"], workloads=["espresso"], **FAST)
+        assert "T4" in result.designs
+
+    def test_run_table3(self):
+        rows = run_table3(workloads=TWO_WORKLOADS, **FAST)
+        assert [r.program for r in rows] == TWO_WORKLOADS
+        for row in rows:
+            assert row.instructions > 0
+            assert 0 <= row.branch_prediction_rate <= 1
+            assert row.loads > 0
+
+    def test_run_experiment_dispatch(self):
+        rows = run_experiment("table3", workloads=["espresso"], **FAST)
+        assert rows[0].program == "espresso"
+        with pytest.raises(ValueError):
+            run_experiment("figure99")
+
+
+class TestMissRates:
+    def test_policy_selection(self):
+        assert policy_for(4) == "lru"
+        assert policy_for(16) == "lru"
+        assert policy_for(32) == "random"
+        assert policy_for(128) == "random"
+
+    def test_run_figure6_shape(self):
+        result = run_figure6(workloads=TWO_WORKLOADS, max_instructions=10_000)
+        assert result.sizes == SIZES
+        assert len(result.rows) == 2
+        for row in result.rows:
+            rates = [row.miss_rate[s] for s in SIZES]
+            assert all(0.0 <= r <= 1.0 for r in rates)
+        assert set(result.rtw_average) == set(SIZES)
+
+    def test_bigger_tlb_not_worse_for_lru_sizes(self):
+        result = run_figure6(workloads=["xlisp"], max_instructions=20_000)
+        row = result.rows[0]
+        # LRU sizes are strictly nested: monotone non-increasing rates.
+        assert row.miss_rate[4] >= row.miss_rate[8] >= row.miss_rate[16]
+
+
+class TestReport:
+    def test_render_figure(self):
+        result = run_figure("figure5", designs=["T1"], workloads=["espresso"], **FAST)
+        text = render_figure(result)
+        assert "T4" in text and "T1" in text
+        assert "normalized to T4" in text
+
+    def test_render_table3(self):
+        rows = run_table3(workloads=["espresso"], **FAST)
+        text = render_table3(rows)
+        assert "espresso" in text
+        assert "BrPred%" in text
+
+    def test_render_figure6(self):
+        result = run_figure6(workloads=["espresso"], max_instructions=5_000)
+        text = render_figure6(result)
+        assert "RTW Avg" in text
+        assert "128" in text

@@ -1,0 +1,67 @@
+"""Tests for the CSV/JSON experiment export."""
+
+import csv
+import io
+import json
+
+from repro.eval.experiments import run_figure, run_table3
+from repro.eval.export import (
+    export_figure,
+    figure6_rows,
+    figure_rows,
+    table3_rows,
+    to_csv,
+    to_json,
+)
+from repro.eval.missrates import run_figure6
+
+FAST = dict(max_instructions=4_000)
+
+
+def _figure():
+    return run_figure("figure5", designs=["T1"], workloads=["espresso"], **FAST)
+
+
+class TestFigureExport:
+    def test_long_form_rows(self):
+        rows = figure_rows(_figure())
+        assert len(rows) == 2  # (T4, T1) x espresso
+        t4 = next(r for r in rows if r["design"] == "T4")
+        assert t4["relative_ipc"] == 1.0
+        assert t4["experiment"] == "figure5"
+        assert t4["cycles"] > 0
+
+    def test_csv_round_trip(self):
+        text = to_csv(figure_rows(_figure()))
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 2
+        assert parsed[0]["design"] == "T4"
+
+    def test_json_round_trip(self):
+        rows = json.loads(to_json(figure_rows(_figure())))
+        assert rows[0]["workload"] == "espresso"
+
+    def test_export_to_files(self, tmp_path):
+        result = _figure()
+        n_csv = export_figure(result, str(tmp_path / "fig.csv"))
+        n_json = export_figure(result, str(tmp_path / "fig.json"))
+        assert n_csv == n_json == 2
+        assert (tmp_path / "fig.csv").read_text().startswith("experiment,")
+        assert json.loads((tmp_path / "fig.json").read_text())
+
+    def test_empty_rows(self):
+        assert to_csv([]) == ""
+
+
+class TestOtherExports:
+    def test_table3_rows(self):
+        rows = table3_rows(run_table3(workloads=["espresso"], **FAST))
+        assert rows[0]["program"] == "espresso"
+        assert 0 < rows[0]["commit_ipc"] <= 8
+
+    def test_figure6_rows_include_average(self):
+        result = run_figure6(workloads=["espresso"], max_instructions=4_000)
+        rows = figure6_rows(result)
+        programs = {r["program"] for r in rows}
+        assert programs == {"espresso", "RTW_AVG"}
+        assert len(rows) == 2 * len(result.sizes)

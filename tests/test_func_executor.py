@@ -1,0 +1,327 @@
+"""Opcode-level semantics tests for the functional simulator."""
+
+import pytest
+
+from repro.func.executor import ExecutionError, Executor, run_program
+from repro.isa.assembler import assemble
+from repro.isa.instructions import AddrMode, Instruction
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+from repro.isa.registers import fp_reg
+from repro.mem.memory import SparseMemory
+
+OUT = 0x2000_0000
+
+
+def _run(asm: str, memory: SparseMemory | None = None) -> Executor:
+    return run_program(assemble(asm), memory)
+
+
+def _result(asm_body: str, memory: SparseMemory | None = None) -> int:
+    """Run a snippet that leaves its result in r1; returns it via memory."""
+    asm = f"{asm_body}\nlui r20, 0x2000\nsw r1, 0(r20)\nhalt"
+    ex = _run(asm, memory)
+    return ex.memory.load_word(OUT)
+
+
+class TestIntegerAlu:
+    def test_add_wraps_32_bits(self):
+        asm = "lui r2, 0xFFFF\nori r2, r2, 0xFFFF\naddi r1, r2, 1"
+        assert _result(asm) == 0
+
+    def test_sub(self):
+        assert _result("addi r2, r0, 7\naddi r3, r0, 10\nsub r1, r3, r2") == 3
+
+    def test_sub_negative_wraps(self):
+        assert _result("addi r2, r0, 3\nsub r1, r0, r2") == 0xFFFF_FFFD
+
+    def test_logic_ops(self):
+        assert _result("addi r2, r0, 0xF0\naddi r3, r0, 0x0F\nor r1, r2, r3") == 0xFF
+        assert _result("addi r2, r0, 0xF0\naddi r3, r0, 0xFF\nand r1, r2, r3") == 0xF0
+        assert _result("addi r2, r0, 0xFF\naddi r3, r0, 0x0F\nxor r1, r2, r3") == 0xF0
+
+    def test_nor(self):
+        assert _result("nor r1, r0, r0") == 0xFFFF_FFFF
+
+    def test_shifts(self):
+        assert _result("addi r2, r0, 1\nslli r1, r2, 4") == 16
+        assert _result("addi r2, r0, 16\nsrli r1, r2, 4") == 1
+
+    def test_sra_sign_extends(self):
+        # -8 >> 1 (arithmetic) = -4
+        asm = "addi r2, r0, 8\nsub r2, r0, r2\naddi r3, r0, 1\nsra r1, r2, r3"
+        assert _result(asm) == 0xFFFF_FFFC
+
+    def test_slt_signed(self):
+        asm = "addi r2, r0, 5\nsub r2, r0, r2\nslt r1, r2, r0"  # -5 < 0
+        assert _result(asm) == 1
+        assert _result("addi r2, r0, 5\nslt r1, r2, r0") == 0
+
+    def test_slti(self):
+        assert _result("addi r2, r0, 3\nslti r1, r2, 9") == 1
+
+    def test_mul_signed(self):
+        asm = "addi r2, r0, 6\naddi r3, r0, 7\nmul r1, r2, r3"
+        assert _result(asm) == 42
+
+    def test_div_truncates_toward_zero(self):
+        assert _result("addi r2, r0, 7\naddi r3, r0, 2\ndiv r1, r2, r3") == 3
+        asm = "addi r2, r0, 7\nsub r2, r0, r2\naddi r3, r0, 2\ndiv r1, r2, r3"
+        assert _result(asm) == 0xFFFF_FFFD  # -7 / 2 = -3
+
+    def test_rem_sign_follows_dividend(self):
+        assert _result("addi r2, r0, 7\naddi r3, r0, 3\nrem r1, r2, r3") == 1
+        asm = "addi r2, r0, 7\nsub r2, r0, r2\naddi r3, r0, 3\nrem r1, r2, r3"
+        assert _result(asm) == 0xFFFF_FFFF  # -7 rem 3 = -1
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(ExecutionError):
+            _run("div r1, r0, r0\nhalt")
+
+    def test_lui(self):
+        assert _result("lui r1, 0x1234") == 0x1234_0000
+
+    def test_r0_writes_discarded(self):
+        assert _result("addi r0, r0, 99\nadd r1, r0, r0") == 0
+
+
+class TestFloatingPoint:
+    def test_fp_arithmetic_chain(self):
+        asm = """
+        addi r2, r0, 3
+        cvtif f1, r2
+        addi r2, r0, 4
+        cvtif f2, r2
+        fadd f3, f1, f2
+        fmul f3, f3, f2
+        cvtfi r1, f3
+        """
+        assert _result(asm) == 28  # (3+4)*4
+
+    def test_fsub_fneg(self):
+        asm = """
+        addi r2, r0, 10
+        cvtif f1, r2
+        addi r2, r0, 4
+        cvtif f2, r2
+        fsub f3, f1, f2
+        fneg f3, f3
+        fneg f3, f3
+        cvtfi r1, f3
+        """
+        assert _result(asm) == 6
+
+    def test_fdiv(self):
+        asm = """
+        addi r2, r0, 9
+        cvtif f1, r2
+        addi r2, r0, 2
+        cvtif f2, r2
+        fdiv f3, f1, f2
+        cvtfi r1, f3
+        """
+        assert _result(asm) == 4  # trunc(4.5)
+
+    def test_fdiv_by_zero_raises(self):
+        with pytest.raises(ExecutionError):
+            _run("fdiv f1, f0, f0\nhalt")
+
+    def test_flt(self):
+        asm = """
+        addi r2, r0, 1
+        cvtif f1, r2
+        addi r2, r0, 2
+        cvtif f2, r2
+        flt r1, f1, f2
+        """
+        assert _result(asm) == 1
+
+    def test_fmov(self):
+        asm = """
+        addi r2, r0, 5
+        cvtif f1, r2
+        fmov f2, f1
+        cvtfi r1, f2
+        """
+        assert _result(asm) == 5
+
+
+class TestMemoryOps:
+    def test_word_round_trip(self):
+        asm = """
+        lui r2, 0x2000
+        addi r3, r0, 77
+        sw r3, 16(r2)
+        lw r1, 16(r2)
+        """
+        assert _result(asm) == 77
+
+    def test_byte_ops(self):
+        asm = """
+        lui r2, 0x2000
+        addi r3, r0, 0xAB
+        sb r3, 5(r2)
+        lb r1, 5(r2)
+        """
+        assert _result(asm) == 0xAB
+
+    def test_base_reg_addressing(self):
+        asm = """
+        lui r2, 0x2000
+        addi r3, r0, 8
+        addi r4, r0, 55
+        sw r4, 8(r2)
+        lw r1, (r2+r3)
+        """
+        assert _result(asm) == 55
+
+    def test_post_increment_uses_old_address(self):
+        mem = SparseMemory()
+        mem.store_word(0x2000_0000, 11)
+        mem.store_word(0x2000_0004, 22)
+        ex = _run(
+            """
+            lui r2, 0x2000
+            lw r3, (r2)+4
+            lw r4, (r2)+4
+            lui r5, 0x3000
+            sw r3, 0(r5)
+            sw r4, 4(r5)
+            halt
+            """,
+            mem,
+        )
+        assert ex.memory.load_word(0x3000_0000) == 11
+        assert ex.memory.load_word(0x3000_0004) == 22
+
+    def test_post_decrement(self):
+        mem = SparseMemory()
+        mem.store_word(0x2000_0008, 9)
+        mem.store_word(0x2000_0004, 8)
+        ex = _run(
+            """
+            lui r2, 0x2000
+            addi r2, r2, 8
+            lw r3, (r2)-4
+            lw r4, (r2)-4
+            lui r5, 0x3000
+            sw r3, 0(r5)
+            sw r4, 4(r5)
+            halt
+            """,
+            mem,
+        )
+        assert ex.memory.load_word(0x3000_0000) == 9
+        assert ex.memory.load_word(0x3000_0004) == 8
+
+    def test_fp_load_store(self):
+        mem = SparseMemory()
+        mem.store_word(0x2000_0000, 2.5)
+        ex = _run(
+            """
+            lui r2, 0x2000
+            lfw f1, 0(r2)
+            fadd f1, f1, f1
+            sfw f1, 4(r2)
+            halt
+            """,
+            mem,
+        )
+        assert ex.memory.load_word(0x2000_0004) == 5.0
+
+    def test_integer_load_of_float_word_rejected(self):
+        mem = SparseMemory()
+        mem.store_word(0x2000_0000, 1.5)
+        with pytest.raises(ExecutionError):
+            _run("lui r2, 0x2000\nlw r1, 0(r2)\nhalt", mem)
+
+
+class TestControlFlow:
+    def test_branch_taken_and_not_taken(self):
+        asm = """
+            addi r1, r0, 0
+            addi r2, r0, 3
+        loop:
+            addi r1, r1, 10
+            addi r2, r2, -1
+            bne r2, r0, loop
+        """
+        assert _result(asm) == 30
+
+    def test_signed_branch_comparisons(self):
+        asm = """
+            addi r2, r0, 1
+            sub r2, r0, r2      # r2 = -1
+            addi r1, r0, 0
+            bge r2, r0, skip    # -1 >= 0 is false
+            addi r1, r1, 1
+        skip:
+            bltz r2, neg        # -1 < 0 is true
+            addi r1, r1, 100
+        neg:
+        """
+        assert _result(asm) == 1
+
+    def test_jal_links_and_jr_returns(self):
+        asm = """
+            addi r1, r0, 0
+            jal r31, sub
+            addi r1, r1, 1
+            j end
+        sub:
+            addi r1, r1, 10
+            jr r31
+        end:
+        """
+        assert _result(asm) == 11
+
+    def test_dyninst_records_branch_outcome(self):
+        prog = assemble(
+            """
+            addi r1, r0, 1
+            bne r1, r0, over
+            nop
+        over:
+            halt
+            """
+        )
+        ex = Executor(prog)
+        dyns = list(ex.run())
+        branch = dyns[1]
+        assert branch.taken
+        assert branch.next_index == 3
+
+    def test_halt_stops(self):
+        ex = _run("halt\naddi r1, r0, 5\nhalt")
+        assert ex.retired == 1
+
+    def test_max_instructions_budget(self):
+        prog = assemble("loop:\nj loop\nhalt")
+        ex = Executor(prog)
+        assert len(list(ex.run(max_instructions=25))) == 25
+        assert not ex.halted
+
+
+class TestErrors:
+    def test_pc_out_of_range(self):
+        prog = Program([Instruction(Op.NOP)])  # falls off the end
+        with pytest.raises(ExecutionError):
+            run_program(prog)
+
+    def test_fp_base_address_rejected(self):
+        prog = Program(
+            [
+                Instruction(Op.CVTIF, rd=fp_reg(1), rs1=0),
+                Instruction(Op.LW, rd=1, rs1=fp_reg(1)),
+                Instruction(Op.HALT),
+            ]
+        )
+        with pytest.raises(ExecutionError):
+            run_program(prog)
+
+    def test_ea_recorded_on_dyninst(self):
+        prog = assemble("lui r2, 0x2000\nlw r1, 12(r2)\nhalt")
+        dyns = list(Executor(prog).run())
+        load = dyns[1]
+        assert load.ea == 0x2000_000C
+        assert load.is_load

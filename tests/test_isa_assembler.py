@@ -1,0 +1,131 @@
+"""Tests for the text assembler."""
+
+import pytest
+
+from repro.func.executor import run_program
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instructions import AddrMode
+from repro.isa.opcodes import Op
+from repro.isa.registers import fp_reg
+
+
+class TestParsing:
+    def test_three_operand_alu(self):
+        prog = assemble("add r1, r2, r3\nhalt")
+        assert prog[0].op is Op.ADD
+        assert (prog[0].rd, prog[0].rs1, prog[0].rs2) == (1, 2, 3)
+
+    def test_immediate_forms(self):
+        prog = assemble("addi r1, r0, -5\nori r2, r1, 0x10\nhalt")
+        assert prog[0].imm == -5
+        assert prog[1].imm == 0x10
+
+    def test_lui(self):
+        prog = assemble("lui r1, 0x2000\nhalt")
+        assert prog[0].op is Op.LUI and prog[0].imm == 0x2000
+
+    def test_memory_base_imm(self):
+        prog = assemble("lw r1, 8(r2)\nhalt")
+        inst = prog[0]
+        assert inst.mode is AddrMode.BASE_IMM
+        assert (inst.rd, inst.rs1, inst.imm) == (1, 2, 8)
+
+    def test_memory_negative_displacement(self):
+        prog = assemble("sw r1, -4(r29)\nhalt")
+        assert prog[0].imm == -4
+
+    def test_memory_base_reg(self):
+        prog = assemble("lw r1, (r2+r3)\nhalt")
+        inst = prog[0]
+        assert inst.mode is AddrMode.BASE_REG
+        assert (inst.rs1, inst.rs2) == (2, 3)
+
+    def test_memory_post_modes(self):
+        prog = assemble("lw r1, (r2)+4\nsw r1, (r2)-8\nhalt")
+        assert prog[0].mode is AddrMode.POST_INC and prog[0].imm == 4
+        assert prog[1].mode is AddrMode.POST_DEC and prog[1].imm == 8
+
+    def test_fp_instructions(self):
+        prog = assemble("fadd f1, f2, f3\nlfw f4, 0(r1)\nhalt")
+        assert prog[0].rd == fp_reg(1)
+        assert prog[1].rd == fp_reg(4)
+
+    def test_labels_and_branches(self):
+        prog = assemble(
+            """
+            top:
+                addi r1, r1, 1
+                bne r1, r2, top
+                halt
+            """
+        )
+        assert prog[1].target == 0
+
+    def test_comments_and_blank_lines_ignored(self):
+        prog = assemble("# header\n\naddi r1, r0, 1  # trailing\n; alt comment\nhalt")
+        assert len(prog) == 2
+
+    def test_numeric_branch_target(self):
+        prog = assemble("j 1\nhalt")
+        assert prog[0].target == 1
+
+    def test_jal_jr(self):
+        prog = assemble("jal r31, 2\nnop\njr r31\nhalt")
+        assert prog[0].rd == 31
+        assert prog[2].rs1 == 31
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "frobnicate r1, r2",
+            "add r1, r2",
+            "lw r1, r2",
+            "lw r1, 4(x9)",
+            "addi r1, r0, zork",
+            "sw r1, (r2+r3)",
+        ],
+    )
+    def test_malformed_lines_rejected(self, bad):
+        with pytest.raises(AssemblerError):
+            assemble(bad + "\nhalt")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("x:\nnop\nx:\nhalt")
+
+    def test_undefined_label_reported(self):
+        with pytest.raises(AssemblerError, match="undefined"):
+            assemble("j nowhere\nhalt")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble("nop\nbogus r1\nhalt")
+
+
+class TestExecution:
+    def test_assembled_loop_computes_sum(self):
+        prog = assemble(
+            """
+            # r1 = sum of 1..5, stored at 0x2000
+                addi r1, r0, 0
+                addi r2, r0, 5
+            loop:
+                add  r1, r1, r2
+                addi r2, r2, -1
+                bne  r2, r0, loop
+                lui  r3, 0
+                ori  r3, r3, 0x2000
+                sw   r1, 0(r3)
+                halt
+            """
+        )
+        run = run_program(prog)
+        assert run.memory.load_word(0x2000) == 15
+
+    def test_round_trip_through_listing_style_text(self):
+        source = "add r1, r2, r3\nlw r4, 8(r1)\nsw r4, (r1)+4\nhalt"
+        prog = assemble(source)
+        reassembled = assemble("\n".join(str(i) for i in prog))
+        assert [str(a) for a in prog] == [str(b) for b in reassembled]

@@ -1,0 +1,138 @@
+"""Tests for the program builder."""
+
+import pytest
+
+from repro.isa.builder import BuilderError, ProgramBuilder
+from repro.isa.instructions import AddrMode
+from repro.isa.opcodes import Op
+from repro.isa.registers import RegClass
+
+
+class TestVRegs:
+    def test_vint_vfp_classes(self):
+        b = ProgramBuilder()
+        assert b.vint().cls is RegClass.INT
+        assert b.vfp().cls is RegClass.FP
+
+    def test_vregs_are_distinct(self):
+        b = ProgramBuilder()
+        assert b.vint() is not b.vint()
+
+    def test_names_carried(self):
+        b = ProgramBuilder()
+        assert b.vint("counter").name == "counter"
+
+
+class TestLabels:
+    def test_auto_label_names_unique(self):
+        b = ProgramBuilder()
+        assert b.label() != b.label()
+
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(BuilderError):
+            b.label("x")
+
+    def test_fresh_then_bind(self):
+        b = ProgramBuilder()
+        lbl = b.fresh_label()
+        b.nop()
+        b.bind(lbl)
+        assert b.labels[lbl] == 1
+
+
+class TestEmission:
+    def test_li_small_constant_single_instruction(self):
+        b = ProgramBuilder()
+        v = b.vint()
+        b.li(v, 5)
+        assert len(b.instructions) == 1
+        assert b.instructions[0].op is Op.ADDI
+
+    def test_li_large_constant_uses_lui_ori(self):
+        b = ProgramBuilder()
+        v = b.vint()
+        b.li(v, 0x12345678)
+        ops = [i.op for i in b.instructions]
+        assert ops == [Op.LUI, Op.ORI]
+
+    def test_li_page_aligned_constant_skips_ori(self):
+        b = ProgramBuilder()
+        v = b.vint()
+        b.li(v, 0x20000000)
+        assert [i.op for i in b.instructions] == [Op.LUI]
+
+    def test_memory_modes(self):
+        b = ProgramBuilder()
+        v, base, idx = b.vint(), b.vint(), b.vint()
+        b.lw(v, base, 8)
+        b.lw(v, base, mode=AddrMode.BASE_REG, index=idx)
+        b.lw(v, base, 4, mode=AddrMode.POST_INC)
+        modes = [i.mode for i in b.instructions]
+        assert modes == [AddrMode.BASE_IMM, AddrMode.BASE_REG, AddrMode.POST_INC]
+
+    def test_base_reg_store_rejected(self):
+        b = ProgramBuilder()
+        v, base = b.vint(), b.vint()
+        with pytest.raises(BuilderError):
+            b.sw(v, base, mode=AddrMode.BASE_REG)
+
+
+class TestLoops:
+    def test_loop_until_emits_guard_and_backedge(self):
+        b = ProgramBuilder()
+        i = b.vint()
+        b.li(i, 0)
+        with b.loop_until(i, 3):
+            b.addi(i, i, 1)
+        b.halt()
+        ops = [inst.op for inst in b.instructions]
+        assert Op.BGE in ops and Op.J in ops
+
+    def test_loop_depth_tracked(self):
+        b = ProgramBuilder()
+        i, j = b.vint(), b.vint()
+        b.li(i, 0)
+        with b.loop_until(i, 2):
+            b.li(j, 0)
+            with b.loop_until(j, 2):
+                b.addi(j, j, 1)
+            b.addi(i, i, 1)
+        assert max(b.depths) == 2
+        assert b.depths[0] == 0
+
+    def test_loop_requires_bound(self):
+        b = ProgramBuilder()
+        i = b.vint()
+        with pytest.raises(BuilderError):
+            with b.loop_until(i, None):
+                pass
+
+    def test_repeat_runs_fixed_count(self):
+        from repro.func.executor import run_program
+
+        b = ProgramBuilder()
+        total = b.vint()
+        ptr = b.vint()
+        b.li(total, 0)
+        b.li(ptr, 0x2000_0000)
+        with b.repeat(5):
+            b.addi(total, total, 2)
+        b.sw(total, ptr, 0)
+        b.halt()
+        ex = run_program(b.build())
+        assert ex.memory.load_word(0x2000_0000) == 10
+
+
+class TestBuild:
+    def test_build_produces_resolved_program(self):
+        b = ProgramBuilder("tiny")
+        i = b.vint()
+        b.li(i, 0)
+        with b.loop_until(i, 2):
+            b.addi(i, i, 1)
+        b.halt()
+        prog = b.build()
+        assert prog.name == "tiny"
+        assert all(not isinstance(inst.target, str) for inst in prog)

@@ -1,0 +1,89 @@
+"""Tests for repro.isa.instructions (operand/dependence queries)."""
+
+from repro.isa.instructions import AddrMode, Instruction
+from repro.isa.opcodes import Op
+from repro.isa.registers import REG_ZERO, fp_reg
+
+
+class TestSourcesAndDests:
+    def test_alu3(self):
+        inst = Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+        assert inst.sources() == (2, 3)
+        assert inst.dests() == (1,)
+
+    def test_zero_register_filtered(self):
+        inst = Instruction(Op.ADD, rd=REG_ZERO, rs1=REG_ZERO, rs2=3)
+        assert inst.sources() == (3,)
+        assert inst.dests() == ()
+
+    def test_load_base_imm(self):
+        inst = Instruction(Op.LW, rd=1, rs1=2, imm=8)
+        assert inst.sources() == (2,)
+        assert inst.dests() == (1,)
+        assert inst.base_register() == 2
+
+    def test_load_base_reg_mode_reads_index(self):
+        inst = Instruction(Op.LW, rd=1, rs1=2, rs2=3, mode=AddrMode.BASE_REG)
+        assert inst.sources() == (2, 3)
+
+    def test_load_post_increment_writes_base(self):
+        inst = Instruction(Op.LW, rd=1, rs1=2, imm=4, mode=AddrMode.POST_INC)
+        assert inst.sources() == (2,)
+        assert set(inst.dests()) == {1, 2}
+
+    def test_store_reads_value_and_base(self):
+        inst = Instruction(Op.SW, rs1=2, rs2=5, imm=0)
+        assert set(inst.sources()) == {2, 5}
+        assert inst.dests() == ()
+
+    def test_store_post_decrement_writes_base(self):
+        inst = Instruction(Op.SW, rs1=2, rs2=5, imm=4, mode=AddrMode.POST_DEC)
+        assert inst.dests() == (2,)
+
+    def test_branch_sources(self):
+        inst = Instruction(Op.BNE, rs1=1, rs2=2, target=0)
+        assert inst.sources() == (1, 2)
+        assert inst.dests() == ()
+
+    def test_jal_writes_link(self):
+        inst = Instruction(Op.JAL, rd=31, target=0)
+        assert inst.dests() == (31,)
+
+    def test_fp_ops_use_fp_registers(self):
+        inst = Instruction(Op.FADD, rd=fp_reg(1), rs1=fp_reg(2), rs2=fp_reg(3))
+        assert inst.sources() == (fp_reg(2), fp_reg(3))
+        assert inst.dests() == (fp_reg(1),)
+
+
+class TestPredicates:
+    def test_load_store_mem(self):
+        assert Instruction(Op.LW, rd=1, rs1=2).is_load()
+        assert Instruction(Op.SW, rs1=2, rs2=1).is_store()
+        assert Instruction(Op.LFW, rd=fp_reg(0), rs1=2).is_mem()
+        assert not Instruction(Op.ADD, rd=1, rs1=2, rs2=3).is_mem()
+
+    def test_is_branch_conditional_only(self):
+        assert Instruction(Op.BEQ, rs1=1, rs2=2, target=0).is_branch()
+        assert not Instruction(Op.J, target=0).is_branch()
+
+
+class TestFormatting:
+    def test_alu_format(self):
+        assert str(Instruction(Op.ADD, rd=1, rs1=2, rs2=3)) == "add r1, r2, r3"
+
+    def test_load_format(self):
+        assert str(Instruction(Op.LW, rd=1, rs1=2, imm=8)) == "lw r1, 8(r2)"
+
+    def test_post_inc_format(self):
+        s = str(Instruction(Op.LW, rd=1, rs1=2, imm=4, mode=AddrMode.POST_INC))
+        assert s == "lw r1, (r2)+4"
+
+    def test_store_format_shows_value_register(self):
+        assert str(Instruction(Op.SW, rs1=2, rs2=5, imm=0)) == "sw r5, 0(r2)"
+
+    def test_branch_format(self):
+        assert str(Instruction(Op.BNE, rs1=1, rs2=0, target="loop")) == "bne r1, r0, loop"
+
+    def test_bare_ops(self):
+        assert str(Instruction(Op.NOP)) == "nop"
+        assert str(Instruction(Op.HALT)) == "halt"

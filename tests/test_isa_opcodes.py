@@ -1,0 +1,72 @@
+"""Tests for repro.isa.opcodes."""
+
+from repro.isa.opcodes import (
+    BRANCH_OPS,
+    CONTROL_OPS,
+    JUMP_OPS,
+    LOAD_OPS,
+    MEM_OPS,
+    Op,
+    OpClass,
+    STORE_OPS,
+    is_control,
+    is_load,
+    is_mem,
+    is_store,
+    op_class,
+)
+
+
+class TestClassification:
+    def test_every_opcode_is_classified(self):
+        for op in Op:
+            assert isinstance(op_class(op), OpClass)
+
+    def test_alu_ops(self):
+        for op in (Op.ADD, Op.ADDI, Op.XOR, Op.SLL, Op.SLT, Op.LUI, Op.NOR):
+            assert op_class(op) is OpClass.IALU
+
+    def test_mult_div_split(self):
+        assert op_class(Op.MUL) is OpClass.IMULT
+        assert op_class(Op.DIV) is OpClass.IDIV
+        assert op_class(Op.REM) is OpClass.IDIV
+        assert op_class(Op.FMUL) is OpClass.FPMULT
+        assert op_class(Op.FDIV) is OpClass.FPDIV
+
+    def test_fp_adder_class_covers_converts_and_compares(self):
+        for op in (Op.FADD, Op.FSUB, Op.FMOV, Op.FNEG, Op.CVTIF, Op.CVTFI, Op.FLT):
+            assert op_class(op) is OpClass.FPADD
+
+    def test_memory_classes(self):
+        for op in (Op.LW, Op.LB, Op.LFW):
+            assert op_class(op) is OpClass.LOAD
+        for op in (Op.SW, Op.SB, Op.SFW):
+            assert op_class(op) is OpClass.STORE
+
+    def test_control_classes(self):
+        assert op_class(Op.BEQ) is OpClass.BRANCH
+        assert op_class(Op.J) is OpClass.JUMP
+        assert op_class(Op.JR) is OpClass.JUMP
+
+
+class TestOpSets:
+    def test_mem_ops_partition(self):
+        assert MEM_OPS == LOAD_OPS | STORE_OPS
+        assert not (LOAD_OPS & STORE_OPS)
+
+    def test_control_ops_partition(self):
+        assert CONTROL_OPS == BRANCH_OPS | JUMP_OPS
+        assert not (BRANCH_OPS & JUMP_OPS)
+
+    def test_predicates_agree_with_sets(self):
+        for op in Op:
+            assert is_load(op) == (op in LOAD_OPS)
+            assert is_store(op) == (op in STORE_OPS)
+            assert is_mem(op) == (op in MEM_OPS)
+            assert is_control(op) == (op in CONTROL_OPS)
+
+    def test_branches_are_conditional_only(self):
+        assert Op.J not in BRANCH_OPS
+        assert Op.JAL not in BRANCH_OPS
+        assert Op.JR not in BRANCH_OPS
+        assert Op.BLTZ in BRANCH_OPS

@@ -1,0 +1,79 @@
+"""Tests for repro.isa.program."""
+
+import pytest
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.program import INSTRUCTION_BYTES, Program, ProgramError
+
+
+def _insts(*ops):
+    return [Instruction(op) for op in ops]
+
+
+class TestResolution:
+    def test_label_targets_resolve_to_indices(self):
+        insts = [
+            Instruction(Op.NOP),
+            Instruction(Op.BNE, rs1=1, rs2=2, target="top"),
+            Instruction(Op.HALT),
+        ]
+        prog = Program(insts, {"top": 0})
+        assert prog[1].target == 0
+
+    def test_numeric_targets_pass_through(self):
+        insts = [Instruction(Op.J, target=1), Instruction(Op.HALT)]
+        prog = Program(insts)
+        assert prog[0].target == 1
+
+    def test_undefined_label_rejected(self):
+        insts = [Instruction(Op.J, target="nowhere"), Instruction(Op.HALT)]
+        with pytest.raises(ProgramError, match="undefined label"):
+            Program(insts)
+
+    def test_out_of_range_target_rejected(self):
+        insts = [Instruction(Op.J, target=7), Instruction(Op.HALT)]
+        with pytest.raises(ProgramError, match="out of range"):
+            Program(insts)
+
+    def test_missing_target_rejected(self):
+        with pytest.raises(ProgramError, match="missing branch target"):
+            Program([Instruction(Op.BEQ, rs1=1, rs2=2)])
+
+    def test_label_out_of_bounds_rejected(self):
+        with pytest.raises(ProgramError, match="outside program"):
+            Program(_insts(Op.NOP), {"bad": 5})
+
+    def test_jr_needs_no_target(self):
+        prog = Program([Instruction(Op.JR, rs1=31), Instruction(Op.HALT)])
+        assert prog[0].target is None
+
+
+class TestAddressing:
+    def test_pc_of_index_round_trip(self):
+        prog = Program(_insts(Op.NOP, Op.NOP, Op.HALT), code_base=0x1000)
+        for i in range(3):
+            assert prog.index_of(prog.pc_of(i)) == i
+
+    def test_pc_spacing(self):
+        prog = Program(_insts(Op.NOP, Op.HALT))
+        assert prog.pc_of(1) - prog.pc_of(0) == INSTRUCTION_BYTES
+
+    def test_misaligned_pc_rejected(self):
+        prog = Program(_insts(Op.HALT))
+        with pytest.raises(ProgramError, match="misaligned"):
+            prog.index_of(prog.code_base + 2)
+
+
+class TestContainer:
+    def test_len_iter_getitem(self):
+        prog = Program(_insts(Op.NOP, Op.NOP, Op.HALT))
+        assert len(prog) == 3
+        assert [i.op for i in prog] == [Op.NOP, Op.NOP, Op.HALT]
+        assert prog[2].op is Op.HALT
+
+    def test_listing_contains_labels_and_indices(self):
+        prog = Program(_insts(Op.NOP, Op.HALT), {"start": 0, "end": 1})
+        listing = prog.listing()
+        assert "start:" in listing
+        assert "halt" in listing

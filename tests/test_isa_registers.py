@@ -1,0 +1,83 @@
+"""Tests for repro.isa.registers."""
+
+import pytest
+
+from repro.isa.registers import (
+    FP_REG_BASE,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    REG_SP,
+    REG_ZERO,
+    RegClass,
+    fp_reg,
+    int_reg,
+    parse_reg,
+    reg_class,
+    reg_index,
+    reg_name,
+)
+
+
+class TestFlatNumbering:
+    def test_int_reg_identity(self):
+        assert int_reg(0) == 0
+        assert int_reg(31) == 31
+
+    def test_fp_reg_offset(self):
+        assert fp_reg(0) == FP_REG_BASE
+        assert fp_reg(31) == FP_REG_BASE + 31
+
+    def test_zero_and_sp_are_int(self):
+        assert reg_class(REG_ZERO) is RegClass.INT
+        assert reg_class(REG_SP) is RegClass.INT
+
+    def test_int_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_reg(NUM_INT_REGS)
+        with pytest.raises(ValueError):
+            int_reg(-1)
+
+    def test_fp_out_of_range(self):
+        with pytest.raises(ValueError):
+            fp_reg(NUM_FP_REGS)
+
+
+class TestClassAndIndex:
+    def test_reg_class_boundaries(self):
+        assert reg_class(31) is RegClass.INT
+        assert reg_class(32) is RegClass.FP
+        assert reg_class(63) is RegClass.FP
+
+    def test_reg_index_round_trip(self):
+        for i in range(NUM_INT_REGS):
+            assert reg_index(int_reg(i)) == i
+        for i in range(NUM_FP_REGS):
+            assert reg_index(fp_reg(i)) == i
+
+    def test_reg_class_out_of_range(self):
+        with pytest.raises(ValueError):
+            reg_class(64)
+        with pytest.raises(ValueError):
+            reg_index(-1)
+
+
+class TestNames:
+    def test_reg_name_int(self):
+        assert reg_name(0) == "r0"
+        assert reg_name(29) == "r29"
+
+    def test_reg_name_fp(self):
+        assert reg_name(fp_reg(3)) == "f3"
+
+    def test_parse_round_trip(self):
+        for reg in (0, 5, 31, fp_reg(0), fp_reg(17), fp_reg(31)):
+            assert parse_reg(reg_name(reg)) == reg
+
+    def test_parse_case_insensitive(self):
+        assert parse_reg("R7") == 7
+        assert parse_reg("F2") == fp_reg(2)
+
+    @pytest.mark.parametrize("bad", ["", "x3", "r", "r32", "f32", "r-1", "rx"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_reg(bad)

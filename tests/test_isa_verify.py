@@ -1,0 +1,122 @@
+"""Tests for the static program verifier, plus a clean bill of health
+for every shipped workload at both register budgets."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.instructions import AddrMode, Instruction
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+from repro.isa.registers import fp_reg
+from repro.isa.verify import verify_program
+from repro.workloads import iter_workload_names, make_workload
+
+
+def _errors(program):
+    return [f for f in verify_program(program) if f.severity == "error"]
+
+
+def _warnings(program):
+    return [f for f in verify_program(program) if f.severity == "warning"]
+
+
+class TestCleanPrograms:
+    def test_simple_program_clean(self):
+        prog = assemble("addi r1, r0, 1\nadd r2, r1, r1\nhalt")
+        assert verify_program(prog) == []
+
+    def test_fp_program_clean(self):
+        prog = assemble(
+            "addi r1, r0, 2\ncvtif f1, r1\nfadd f2, f1, f1\ncvtfi r2, f2\nhalt"
+        )
+        assert verify_program(prog) == []
+
+    @pytest.mark.parametrize("name", list(iter_workload_names()))
+    @pytest.mark.parametrize("budget", [32, 8])
+    def test_all_workloads_verify_clean(self, name, budget):
+        build = make_workload(name).build(int_regs=budget, fp_regs=budget)
+        assert _errors(build.program) == []
+
+
+class TestClassErrors:
+    def test_fp_base_address(self):
+        prog = Program([Instruction(Op.LW, rd=1, rs1=fp_reg(2)), Instruction(Op.HALT)])
+        assert any("base address" in f.message for f in _errors(prog))
+
+    def test_integer_op_on_fp_register(self):
+        prog = Program(
+            [Instruction(Op.ADD, rd=1, rs1=fp_reg(1), rs2=2), Instruction(Op.HALT)]
+        )
+        assert any("integer op on FP" in f.message for f in _errors(prog))
+
+    def test_fp_op_on_integer_register(self):
+        prog = Program(
+            [Instruction(Op.FADD, rd=fp_reg(1), rs1=2, rs2=fp_reg(3)), Instruction(Op.HALT)]
+        )
+        assert any("fadd on integer" in f.message for f in _errors(prog))
+
+    def test_load_data_register_class(self):
+        prog = Program([Instruction(Op.LW, rd=fp_reg(1), rs1=2), Instruction(Op.HALT)])
+        assert any("integer data register" in f.message for f in _errors(prog))
+        prog = Program([Instruction(Op.LFW, rd=1, rs1=2), Instruction(Op.HALT)])
+        assert any("FP data register" in f.message for f in _errors(prog))
+
+    def test_converts_check_both_files(self):
+        prog = Program(
+            [Instruction(Op.CVTIF, rd=1, rs1=2), Instruction(Op.HALT)]
+        )
+        assert any("cvtif writes the FP file" in f.message for f in _errors(prog))
+        prog = Program(
+            [Instruction(Op.CVTFI, rd=fp_reg(1), rs1=fp_reg(2)), Instruction(Op.HALT)]
+        )
+        assert any("integer result" in f.message for f in _errors(prog))
+
+    def test_flt_operand_classes(self):
+        prog = Program(
+            [Instruction(Op.FLT, rd=1, rs1=fp_reg(1), rs2=2), Instruction(Op.HALT)]
+        )
+        assert any("flt compares FP" in f.message for f in _errors(prog))
+
+    def test_divide_by_r0(self):
+        prog = Program(
+            [Instruction(Op.DIV, rd=1, rs1=2, rs2=0), Instruction(Op.HALT)]
+        )
+        assert any("zero register" in f.message for f in _errors(prog))
+
+
+class TestShapeErrors:
+    def test_load_without_destination(self):
+        prog = Program([Instruction(Op.LW, rs1=2), Instruction(Op.HALT)])
+        assert any("without a destination" in f.message for f in _errors(prog))
+
+    def test_store_without_value(self):
+        prog = Program([Instruction(Op.SW, rs1=2), Instruction(Op.HALT)])
+        assert any("without a value" in f.message for f in _errors(prog))
+
+    def test_memory_without_base(self):
+        prog = Program([Instruction(Op.LW, rd=1), Instruction(Op.HALT)])
+        assert any("without a base" in f.message for f in _errors(prog))
+
+
+class TestWarnings:
+    def test_write_to_r0(self):
+        prog = Program([Instruction(Op.ADDI, rd=0, rs1=1, imm=3), Instruction(Op.HALT)])
+        assert any("writes r0" in f.message for f in _warnings(prog))
+
+    def test_missing_halt(self):
+        prog = Program([Instruction(Op.NOP)])
+        assert any("no HALT" in f.message for f in _warnings(prog))
+
+    def test_pointless_post_update(self):
+        prog = Program(
+            [
+                Instruction(Op.LW, rd=1, rs1=2, imm=0, mode=AddrMode.POST_INC),
+                Instruction(Op.HALT),
+            ]
+        )
+        assert any("post-update by 0" in f.message for f in _warnings(prog))
+
+    def test_finding_str(self):
+        prog = Program([Instruction(Op.NOP)])
+        text = str(verify_program(prog)[0])
+        assert "warning" in text

@@ -1,0 +1,133 @@
+"""Tests for SparseMemory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.memory import MemoryError_, SparseMemory
+
+
+class TestWords:
+    def test_default_zero(self):
+        assert SparseMemory().load_word(0x1000) == 0
+
+    def test_store_load_round_trip(self):
+        m = SparseMemory()
+        m.store_word(0x1000, 0xDEADBEEF)
+        assert m.load_word(0x1000) == 0xDEADBEEF
+
+    def test_store_masks_to_32_bits(self):
+        m = SparseMemory()
+        m.store_word(0, 0x1_2345_6789)
+        assert m.load_word(0) == 0x2345_6789
+
+    def test_float_values_round_trip(self):
+        m = SparseMemory()
+        m.store_word(8, 3.25)
+        assert m.load_word(8) == 3.25
+
+    def test_misaligned_word_rejected(self):
+        m = SparseMemory()
+        with pytest.raises(MemoryError_):
+            m.load_word(2)
+        with pytest.raises(MemoryError_):
+            m.store_word(5, 1)
+
+
+class TestBytes:
+    def test_byte_extraction_little_endian(self):
+        m = SparseMemory()
+        m.store_word(0, 0x04030201)
+        assert [m.load_byte(i) for i in range(4)] == [1, 2, 3, 4]
+
+    def test_byte_store_updates_one_lane(self):
+        m = SparseMemory()
+        m.store_word(0, 0x11223344)
+        m.store_byte(1, 0xAA)
+        assert m.load_word(0) == 0x1122AA44
+
+    def test_byte_store_into_empty_word(self):
+        m = SparseMemory()
+        m.store_byte(7, 0xFF)
+        assert m.load_word(4) == 0xFF00_0000
+
+    def test_byte_ops_on_float_word_rejected(self):
+        m = SparseMemory()
+        m.store_word(0, 1.5)
+        with pytest.raises(MemoryError_):
+            m.load_byte(0)
+        with pytest.raises(MemoryError_):
+            m.store_byte(0, 1)
+
+
+class TestBulkAndClone:
+    def test_store_words(self):
+        m = SparseMemory()
+        m.store_words(0x100, [1, 2, 3])
+        assert [m.load_word(0x100 + 4 * i) for i in range(3)] == [1, 2, 3]
+
+    def test_store_words_misaligned_rejected(self):
+        with pytest.raises(MemoryError_):
+            SparseMemory().store_words(0x101, [1])
+
+    def test_clone_is_independent(self):
+        m = SparseMemory()
+        m.store_word(0, 7)
+        c = m.clone()
+        c.store_word(0, 9)
+        assert m.load_word(0) == 7
+        assert c.load_word(0) == 9
+
+    def test_footprint_counts_distinct_words(self):
+        m = SparseMemory()
+        m.store_word(0, 1)
+        m.store_word(0, 2)
+        m.store_word(4, 3)
+        assert m.footprint_words() == 2
+
+    def test_contains(self):
+        m = SparseMemory()
+        m.store_word(0x20, 1)
+        assert 0x20 in m
+        assert 0x23 in m  # same word
+        assert 0x24 not in m
+
+
+class TestProperties:
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=255),
+                st.integers(min_value=0, max_value=0xFFFF_FFFF),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_last_write_wins(self, writes):
+        m = SparseMemory()
+        expected: dict[int, int] = {}
+        for slot, value in writes:
+            m.store_word(slot * 4, value)
+            expected[slot * 4] = value
+        for addr, value in expected.items():
+            assert m.load_word(addr) == value
+
+    @given(
+        byte_writes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=63),
+                st.integers(min_value=0, max_value=255),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_byte_writes_match_reference_model(self, byte_writes):
+        m = SparseMemory()
+        reference = bytearray(64)
+        for addr, value in byte_writes:
+            m.store_byte(addr, value)
+            reference[addr] = value
+        for addr in range(64):
+            assert m.load_byte(addr) == reference[addr]

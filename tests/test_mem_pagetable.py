@@ -1,0 +1,101 @@
+"""Tests for the page table and address-space layout."""
+
+import pytest
+
+from repro.mem.layout import AddressSpaceLayout, Region
+from repro.mem.pagetable import PageTable
+
+
+class TestPageTable:
+    def test_demand_allocation_assigns_sequential_frames(self):
+        pt = PageTable()
+        a = pt.walk(100)
+        c = pt.walk(200)
+        assert (a.ppn, c.ppn) == (0, 1)
+
+    def test_walk_is_idempotent(self):
+        pt = PageTable()
+        assert pt.walk(5) is pt.walk(5)
+        assert pt.mapped_pages() == 1
+
+    def test_translate_preserves_offset(self):
+        pt = PageTable(page_size=4096)
+        vaddr = (7 << 12) | 0x123
+        paddr = pt.translate(vaddr)
+        assert paddr & 0xFFF == 0x123
+
+    def test_translate_distinct_pages_distinct_frames(self):
+        pt = PageTable()
+        pa = pt.translate(0x1000)
+        pb = pt.translate(0x2000)
+        assert (pa >> 12) != (pb >> 12)
+
+    def test_status_bits(self):
+        pt = PageTable()
+        pt.translate(0x5000)
+        entry = pt.walk(5)
+        assert entry.referenced and not entry.dirty
+        pt.translate(0x5004, write=True)
+        assert entry.dirty
+
+    def test_page_size_8k(self):
+        pt = PageTable(page_size=8192)
+        assert pt.vpn_of(8192) == 1
+        assert pt.offset_of(8192 + 13) == 13
+
+    @pytest.mark.parametrize("bad", [0, -4, 3000])
+    def test_bad_page_size_rejected(self, bad):
+        with pytest.raises(ValueError):
+            PageTable(page_size=bad)
+
+    def test_entries_sorted_by_vpn(self):
+        pt = PageTable()
+        for vpn in (9, 3, 7):
+            pt.walk(vpn)
+        assert [e.vpn for e in pt.entries()] == [3, 7, 9]
+
+
+class TestRegion:
+    def test_bump_allocation(self):
+        r = Region("r", 0x1000, 0x2000)
+        a = r.allocate(16)
+        c = r.allocate(16)
+        assert c >= a + 16
+
+    def test_alignment(self):
+        r = Region("r", 0x1001, 0x2000)
+        assert r.allocate(8, align=8) % 8 == 0
+
+    def test_exhaustion(self):
+        r = Region("r", 0, 64)
+        r.allocate(60)
+        with pytest.raises(MemoryError):
+            r.allocate(8)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Region("r", 0, 64).allocate(-1)
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            Region("r", 0, 64).allocate(4, align=3)
+
+    def test_used_tracks_cursor(self):
+        r = Region("r", 0, 1024)
+        r.allocate(100, align=1)
+        assert r.used == 100
+
+
+class TestLayout:
+    def test_regions_disjoint(self):
+        lay = AddressSpaceLayout()
+        g = lay.alloc_global(64)
+        h = lay.alloc_heap(64)
+        s = lay.alloc_stack(64)
+        assert g < h < s
+
+    def test_heap_grows_upward(self):
+        lay = AddressSpaceLayout()
+        first = lay.alloc_heap(4096)
+        second = lay.alloc_heap(4096)
+        assert second > first

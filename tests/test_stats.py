@@ -1,0 +1,57 @@
+"""Unit tests for the statistics containers and their derived metrics."""
+
+import pytest
+
+from repro.engine.stats import MachineStats
+from repro.tlb.stats import TranslationStats
+
+
+class TestTranslationStats:
+    def test_shielded_fraction(self):
+        t = TranslationStats(requests=10, shielded=4)
+        assert t.shielded_fraction == pytest.approx(0.4)
+
+    def test_base_miss_rate(self):
+        t = TranslationStats(base_probes=20, base_misses=5)
+        assert t.base_miss_rate == pytest.approx(0.25)
+
+    def test_mean_port_stall(self):
+        t = TranslationStats(requests=8, port_stall_cycles=16)
+        assert t.mean_port_stall == pytest.approx(2.0)
+
+    def test_zero_division_guards(self):
+        t = TranslationStats()
+        assert t.shielded_fraction == 0.0
+        assert t.base_miss_rate == 0.0
+        assert t.mean_port_stall == 0.0
+
+
+class TestMachineStats:
+    def test_ipc_properties(self):
+        s = MachineStats(cycles=100, committed=250, issued=400)
+        assert s.commit_ipc == pytest.approx(2.5)
+        assert s.issue_ipc == pytest.approx(4.0)
+
+    def test_branch_prediction_rate(self):
+        s = MachineStats(branches=100, mispredicts=15)
+        assert s.branch_prediction_rate == pytest.approx(0.85)
+
+    def test_branchless_prediction_rate_zero(self):
+        assert MachineStats().branch_prediction_rate == 0.0
+
+    def test_mem_refs_per_cycle(self):
+        s = MachineStats(cycles=50, loads=60, stores=40)
+        assert s.mem_refs_per_cycle == pytest.approx(2.0)
+
+    def test_zero_cycles_guards(self):
+        s = MachineStats()
+        assert s.commit_ipc == 0.0
+        assert s.issue_ipc == 0.0
+        assert s.mem_refs_per_cycle == 0.0
+
+    def test_nested_stats_are_independent_instances(self):
+        a, b = MachineStats(), MachineStats()
+        a.translation_demand[2] = 5
+        a.icache.accesses = 9
+        assert b.translation_demand == {}
+        assert b.icache.accesses == 0

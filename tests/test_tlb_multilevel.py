@@ -1,0 +1,123 @@
+"""Tests for the multi-level TLB: shielding, forwarding latency,
+inclusion, and status write-through (paper §3.3 / §4.1).
+
+Includes a hypothesis property check of the multi-level inclusion
+invariant under random request streams.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tlb.multilevel import MultiLevelTLB
+from repro.tlb.request import TranslationRequest
+
+
+def _req(seq, vpn, cycle=0, write=False):
+    return TranslationRequest(seq=seq, vpn=vpn, cycle=cycle, is_write=write)
+
+
+def _drain(mech, start=0, horizon=100):
+    results = {}
+    for cycle in range(start, start + horizon):
+        for res in mech.tick(cycle):
+            results[res.req.seq] = res
+        if mech.pending() == 0:
+            break
+    return results
+
+
+class TestShielding:
+    def test_l1_hit_is_immediate_and_shielded(self):
+        mech = MultiLevelTLB(l1_entries=4)
+        mech.request(_req(0, vpn=9))
+        _drain(mech)  # warms L1
+        res = mech.request(_req(1, vpn=9, cycle=10))
+        assert res is not None and res.shielded
+        assert res.ready == 10
+        assert mech.stats.shielded == 1
+
+    def test_l1_miss_min_two_cycles(self):
+        """Paper: 'The minimum latency for an L1 TLB miss is 2 cycles.'"""
+        mech = MultiLevelTLB(l1_entries=4)
+        assert mech.request(_req(0, vpn=5, cycle=3)) is None
+        res = _drain(mech, start=3)[0]
+        assert res.ready - 3 >= 2
+
+    def test_l2_port_queueing(self):
+        mech = MultiLevelTLB(l1_entries=4, l2_ports=1)
+        for seq in range(3):
+            mech.request(_req(seq, vpn=10 + seq))
+        results = _drain(mech)
+        readys = sorted(res.ready for res in results.values())
+        assert readys == [2, 3, 4]  # forwarded at 1, granted 1/2/3, +1 access
+
+    def test_l2_miss_flagged(self):
+        mech = MultiLevelTLB(l1_entries=4)
+        mech.request(_req(0, vpn=77))
+        assert _drain(mech)[0].tlb_miss
+        # Second access to the same page: L1 hit now.
+        res = mech.request(_req(1, vpn=77, cycle=20))
+        assert res is not None and res.shielded
+
+
+class TestInclusion:
+    def test_l2_replacement_invalidates_l1(self):
+        mech = MultiLevelTLB(l1_entries=4, l2_entries=4)
+        for seq, vpn in enumerate(range(10)):
+            mech.request(_req(seq, vpn, cycle=seq * 10))
+            _drain(mech, start=seq * 10)
+        assert mech.check_inclusion()
+
+    @given(
+        vpns=st.lists(st.integers(0, 30), min_size=1, max_size=150),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_inclusion_invariant_random_streams(self, vpns):
+        mech = MultiLevelTLB(l1_entries=4, l2_entries=8)
+        cycle = 0
+        for seq, vpn in enumerate(vpns):
+            mech.request(_req(seq, vpn, cycle=cycle))
+            _drain(mech, start=cycle)
+            cycle += 5
+            assert mech.check_inclusion()
+
+
+class TestStatusWriteThrough:
+    def test_first_write_after_read_generates_status_write(self):
+        mech = MultiLevelTLB(l1_entries=4)
+        mech.request(_req(0, vpn=3, write=False))
+        _drain(mech)
+        # L1 hit, but the write flips the dirty bit -> write-through.
+        res = mech.request(_req(1, vpn=3, cycle=10, write=True))
+        assert res is not None and res.shielded
+        assert mech.stats.status_writes == 1
+        assert mech.pending() == 1  # the queued status write
+
+    def test_repeat_write_no_extra_status_traffic(self):
+        mech = MultiLevelTLB(l1_entries=4)
+        mech.request(_req(0, vpn=3, write=True))
+        _drain(mech)
+        mech.request(_req(1, vpn=3, cycle=10, write=True))
+        assert mech.stats.status_writes == 0  # dirty set by the L2 access
+
+    def test_status_write_consumes_port_cycle(self):
+        mech = MultiLevelTLB(l1_entries=4)
+        mech.request(_req(0, vpn=3))
+        _drain(mech)
+        # An L1 miss forwarded from cycle 10 becomes eligible at 11; an
+        # older-seq status write submitted at cycle 11 wins the port that
+        # cycle, pushing the miss's grant (and so its completion) back.
+        mech.request(_req(2, vpn=99, cycle=10))
+        mech.request(_req(1, vpn=3, cycle=11, write=True))
+        res = _drain(mech, start=10)[2]
+        assert res.ready - 10 > 2
+
+    def test_l1_lru_replacement(self):
+        mech = MultiLevelTLB(l1_entries=2)
+        cycle = 0
+        for seq, vpn in enumerate([1, 2, 1, 3]):
+            res = mech.request(_req(seq, vpn, cycle=cycle))
+            _drain(mech, start=cycle)
+            cycle += 10
+        # L1 holds {1,3} now; 2 was LRU when 3 arrived.
+        assert 1 in mech.l1 and 3 in mech.l1 and 2 not in mech.l1

@@ -1,0 +1,141 @@
+"""Tests for the fully-associative TLB bank, including a hypothesis
+model check of LRU behaviour against a reference implementation.
+"""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tlb.storage import FullyAssocTLB
+
+
+class TestBasics:
+    def test_cold_probe_misses_then_hits_after_insert(self):
+        tlb = FullyAssocTLB(4)
+        assert not tlb.probe(10)
+        tlb.insert(10)
+        assert tlb.probe(10)
+
+    def test_capacity_enforced(self):
+        tlb = FullyAssocTLB(4)
+        for vpn in range(6):
+            tlb.insert(vpn)
+        assert len(tlb) == 4
+
+    def test_insert_resident_refreshes_without_eviction(self):
+        tlb = FullyAssocTLB(2, replacement="lru")
+        tlb.insert(1)
+        tlb.insert(2)
+        assert tlb.insert(1) is None
+        assert len(tlb) == 2
+
+    def test_invalidate(self):
+        tlb = FullyAssocTLB(4)
+        tlb.insert(7)
+        assert tlb.invalidate(7)
+        assert not tlb.invalidate(7)
+        assert 7 not in tlb
+
+    def test_flush(self):
+        tlb = FullyAssocTLB(4)
+        for vpn in range(3):
+            tlb.insert(vpn)
+        assert tlb.flush() == 3
+        assert len(tlb) == 0
+
+    def test_stats(self):
+        tlb = FullyAssocTLB(4)
+        tlb.probe(1)
+        tlb.insert(1)
+        tlb.probe(1)
+        assert tlb.probes == 2
+        assert tlb.misses == 1
+        assert tlb.miss_rate == 0.5
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_bad_capacity_rejected(self, bad):
+        with pytest.raises(ValueError):
+            FullyAssocTLB(bad)
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            FullyAssocTLB(4, replacement="mru")
+
+
+class TestLRUBehaviour:
+    def test_lru_victim_is_least_recent(self):
+        tlb = FullyAssocTLB(2, replacement="lru")
+        tlb.insert(1)
+        tlb.insert(2)
+        tlb.probe(1)  # 2 becomes LRU
+        victim = tlb.insert(3)
+        assert victim == 2
+        assert 1 in tlb
+
+    def test_probe_updates_recency(self):
+        tlb = FullyAssocTLB(3, replacement="lru")
+        for vpn in (1, 2, 3):
+            tlb.insert(vpn)
+        tlb.probe(1)
+        assert tlb.insert(4) == 2  # 2 was LRU after 1's touch
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["probe", "insert"]), st.integers(0, 20)),
+            max_size=300,
+        ),
+        capacity=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lru_matches_reference_model(self, ops, capacity):
+        tlb = FullyAssocTLB(capacity, replacement="lru")
+        model: OrderedDict[int, None] = OrderedDict()
+        for kind, vpn in ops:
+            if kind == "probe":
+                hit = tlb.probe(vpn)
+                assert hit == (vpn in model)
+                if hit:
+                    model.move_to_end(vpn)
+            else:
+                victim = tlb.insert(vpn)
+                if vpn in model:
+                    model.move_to_end(vpn)
+                    assert victim is None
+                else:
+                    expected_victim = None
+                    if len(model) >= capacity:
+                        expected_victim, _ = model.popitem(last=False)
+                    model[vpn] = None
+                    assert victim == expected_victim
+            assert set(tlb.resident()) == set(model)
+
+
+class TestRandomBehaviour:
+    def test_random_eviction_deterministic_per_seed(self):
+        def victims(seed):
+            tlb = FullyAssocTLB(4, replacement="random", seed=seed)
+            out = []
+            for vpn in range(20):
+                out.append(tlb.insert(vpn))
+            return out
+
+        assert victims(1) == victims(1)
+
+    def test_random_eviction_varies_with_seed(self):
+        def victims(seed):
+            tlb = FullyAssocTLB(8, replacement="random", seed=seed)
+            return [tlb.insert(vpn) for vpn in range(64)]
+
+        assert victims(1) != victims(2)
+
+    @given(st.lists(st.integers(0, 1000), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_random_capacity_and_residency_invariants(self, vpns):
+        tlb = FullyAssocTLB(16, replacement="random")
+        for vpn in vpns:
+            if not tlb.probe(vpn):
+                tlb.insert(vpn)
+            assert vpn in tlb  # just-touched entry must be resident
+            assert len(tlb) <= 16

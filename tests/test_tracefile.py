@@ -1,0 +1,140 @@
+"""Tests for trace save/replay and the new predictors."""
+
+import pytest
+
+from repro.branch.predictors import GSharePredictor, TournamentPredictor
+from repro.caches.replacement import XorShift32
+from repro.engine.config import MachineConfig
+from repro.engine.machine import Machine
+from repro.func.executor import Executor
+from repro.func.tracefile import TraceFileError, load_trace, save_trace
+from repro.isa.assembler import assemble
+from repro.tlb.factory import make_mechanism
+from repro.workloads import make_workload
+
+ASM = """
+    lui  r2, 0x2000
+    addi r4, r0, 30
+loop:
+    lw   r5, 0(r2)
+    sw   r5, 4(r2)
+    addi r2, r2, 8
+    addi r4, r4, -1
+    bne  r4, r0, loop
+    halt
+"""
+
+
+class TestTraceFile:
+    def test_round_trip_preserves_stream(self, tmp_path):
+        prog = assemble(ASM)
+        original = list(Executor(prog).run())
+        path = tmp_path / "trace.rptr"
+        assert save_trace(path, prog, original) == len(original)
+        replayed = list(load_trace(path, prog))
+        assert len(replayed) == len(original)
+        for a, b in zip(original, replayed):
+            assert (a.seq, a.pc, a.ea, a.taken, a.next_index) == (
+                b.seq,
+                b.pc,
+                b.ea,
+                b.taken,
+                b.next_index,
+            )
+            assert a.decoded.index == b.decoded.index
+
+    def test_replayed_trace_drives_machine_identically(self, tmp_path):
+        prog = assemble(ASM)
+        path = tmp_path / "trace.rptr"
+        save_trace(path, prog, Executor(prog).run())
+
+        def run(trace):
+            cfg = MachineConfig()
+            return Machine(cfg, make_mechanism("M8", cfg.page_shift), trace).run()
+
+        live = run(Executor(prog).run())
+        replay = run(load_trace(path, prog))
+        assert replay.cycles == live.cycles
+        assert replay.stats.committed == live.stats.committed
+
+    def test_program_mismatch_rejected(self, tmp_path):
+        prog = assemble(ASM)
+        other = assemble("nop\nhalt")
+        path = tmp_path / "trace.rptr"
+        save_trace(path, prog, Executor(prog).run())
+        with pytest.raises(TraceFileError, match="recorded against"):
+            list(load_trace(path, other))
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bogus.rptr"
+        path.write_bytes(b"NOPE" + b"\x00" * 40)
+        with pytest.raises(TraceFileError, match="magic"):
+            list(load_trace(path, assemble("halt")))
+
+    def test_truncated_file_rejected(self, tmp_path):
+        prog = assemble(ASM)
+        path = tmp_path / "trace.rptr"
+        save_trace(path, prog, Executor(prog).run())
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(TraceFileError, match="truncated"):
+            list(load_trace(path, prog))
+
+    def test_workload_trace_round_trip(self, tmp_path):
+        build = make_workload("espresso").build()
+        trace = list(Executor(build.program, build.memory).run(max_instructions=3_000))
+        path = tmp_path / "espresso.rptr"
+        save_trace(path, build.program, trace)
+        replayed = list(load_trace(path, build.program))
+        assert [d.ea for d in replayed] == [d.ea for d in trace]
+
+
+def _accuracy(predictor, stream):
+    correct = 0
+    for pc, taken in stream:
+        if predictor.predict(pc) == taken:
+            correct += 1
+        predictor.update(pc, taken)
+    return correct / len(stream)
+
+
+class TestNewPredictors:
+    def test_gshare_learns_loop_pattern(self):
+        p = GSharePredictor()
+        pattern = [True] * 5 + [False]
+        stream = [(0x4000, t) for _ in range(60) for t in pattern]
+        _accuracy(p, stream[:120])
+        assert _accuracy(p, stream[120:]) > 0.95
+
+    def test_gshare_validation(self):
+        with pytest.raises(ValueError):
+            GSharePredictor(pht_entries=100)
+        with pytest.raises(ValueError):
+            GSharePredictor(history_bits=0)
+
+    def test_tournament_beats_its_components_on_mixed_streams(self):
+        rng = XorShift32(5)
+        # Branch A: biased 90% taken (bimodal-friendly).
+        # Branch B: strict alternation (history-friendly).
+        stream = []
+        for i in range(3000):
+            stream.append((0x4000, rng.below(10) != 0))
+            stream.append((0x4010, bool(i % 2)))
+        tournament = _accuracy(TournamentPredictor(), list(stream))
+        assert tournament > 0.85
+
+    def test_tournament_validation(self):
+        with pytest.raises(ValueError):
+            TournamentPredictor(entries=100)
+
+    def test_machine_accepts_each_predictor(self):
+        prog = assemble(ASM)
+        for kind in ("gap", "gshare", "bimodal", "tournament", "taken"):
+            cfg = MachineConfig(predictor=kind)
+            mech = make_mechanism("T4", cfg.page_shift)
+            res = Machine(cfg, mech, Executor(prog).run()).run()
+            assert res.stats.committed > 0
+
+    def test_unknown_predictor_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(predictor="neural")

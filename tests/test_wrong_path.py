@@ -1,0 +1,103 @@
+"""Tests for synthetic wrong-path execution."""
+
+import pytest
+
+from repro.engine.config import MachineConfig
+from repro.engine.machine import Machine
+from repro.func.executor import Executor
+from repro.isa.assembler import assemble
+from repro.mem.memory import SparseMemory
+from repro.tlb.factory import make_mechanism
+
+# A loop whose exit branch alternates unpredictably: plenty of
+# mispredicts, plus memory traffic feeding the recent-address pool.
+BRANCHY = """
+    lui  r2, 0x2000
+    addi r4, r0, 120
+    addi r1, r0, 0
+loop:
+    lw   r5, 0(r2)
+    addi r2, r2, 4
+    andi r6, r5, 1
+    beq  r6, r0, even
+    addi r1, r1, 1
+even:
+    addi r4, r4, -1
+    bne  r4, r0, loop
+    halt
+"""
+
+
+def _memory():
+    mem = SparseMemory()
+    value = 0x9E3779B9
+    for i in range(512):
+        value = (value * 1103515245 + 12345) & 0xFFFFFFFF
+        # High bits of the LCG are the random ones (low bits cycle).
+        mem.store_word(0x2000_0000 + 4 * i, (value >> 13) & 0xFFFF)
+    return mem
+
+
+def _run(model_wrong_path: bool, design="T4"):
+    prog = assemble(BRANCHY)
+    cfg = MachineConfig(model_wrong_path=model_wrong_path)
+    mech = make_mechanism(design, cfg.page_shift)
+    trace = Executor(prog, _memory()).run()
+    return Machine(cfg, mech, trace).run()
+
+
+class TestWrongPath:
+    def test_issue_exceeds_commit_with_wrong_path(self):
+        res = _run(True)
+        assert res.stats.mispredicts > 5
+        assert res.stats.issued > res.stats.committed
+
+    def test_issue_equals_commit_without_wrong_path(self):
+        res = _run(False)
+        assert res.stats.issued == res.stats.committed
+
+    def test_committed_count_is_wrong_path_independent(self):
+        with_wp = _run(True)
+        without = _run(False)
+        assert with_wp.stats.committed == without.stats.committed
+
+    def test_wrong_path_adds_translation_traffic(self):
+        with_wp = _run(True)
+        without = _run(False)
+        assert with_wp.stats.translation.requests > without.stats.translation.requests
+
+    def test_committed_loads_exclude_wrong_path(self):
+        """Table 3 counts 'only non-speculative operations'."""
+        with_wp = _run(True)
+        without = _run(False)
+        assert with_wp.stats.loads == without.stats.loads
+        assert with_wp.stats.stores == without.stats.stores
+
+    def test_wrong_path_pressure_loads_the_single_port(self):
+        """Speculative requests queue at the single port.  (Total cycles
+        can go either way: wrong-path accesses also *warm* the TLB and
+        cache for the correct path, a genuine prefetching effect.)"""
+        t1_wp = _run(True, "T1")
+        t1_clean = _run(False, "T1")
+        wp_stalls = t1_wp.stats.translation.port_stall_cycles
+        clean_stalls = t1_clean.stats.translation.port_stall_cycles
+        assert wp_stalls > clean_stalls
+
+    def test_deterministic(self):
+        assert _run(True).cycles == _run(True).cycles
+
+    def test_no_mispredicts_no_wrong_path(self):
+        prog = assemble("addi r1, r0, 3\nadd r2, r1, r1\nhalt")
+        cfg = MachineConfig(model_wrong_path=True)
+        mech = make_mechanism("T4", cfg.page_shift)
+        res = Machine(cfg, mech, Executor(prog).run()).run()
+        assert res.stats.issued == res.stats.committed
+
+    def test_wrong_path_tlb_misses_never_walk(self):
+        """A speculative access off the mapped region must not charge a
+        30-cycle walk (it stalls dispatch until the squash instead)."""
+        with_wp = _run(True)
+        without = _run(False)
+        # Walk counts may differ only by correct-path cold misses, which
+        # are identical across the two runs.
+        assert with_wp.stats.tlb_miss_services == without.stats.tlb_miss_services
