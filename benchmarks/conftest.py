@@ -8,8 +8,12 @@ variables for paper-scale runs::
     REPRO_BENCH_INSTS=60000 pytest benchmarks/ --benchmark-only
     REPRO_BENCH_WORKLOADS=compress,xlisp pytest benchmarks/test_figure5.py --benchmark-only
     REPRO_BENCH_DESIGNS=T4,T1,M8 ...
+    REPRO_BENCH_JOBS=4 ...             # shard grids across worker processes
 
-Rendered tables are printed and archived under ``results/``.
+Rendered tables are printed and archived under ``results/``.  Grids run
+through :func:`repro.eval.parallel.run_many`; set ``REPRO_BENCH_JOBS``
+to parallelize (benchmarks never use the persistent result store — the
+point is to time the simulations).
 """
 
 from __future__ import annotations
@@ -37,6 +41,11 @@ def bench_designs() -> list[str] | None:
     """Design subset (None = all of Table 2)."""
     raw = os.environ.get("REPRO_BENCH_DESIGNS")
     return raw.split(",") if raw else None
+
+
+def bench_jobs() -> int:
+    """Worker processes for grid benchmarks (default 1 = serial)."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", 1))
 
 
 def archive(name: str, text: str) -> None:

@@ -1,6 +1,6 @@
 """Regenerate the paper's Figure 5."""
 
-from conftest import archive, bench_designs, bench_insts, bench_workloads
+from conftest import archive, bench_designs, bench_insts, bench_jobs, bench_workloads
 
 from repro.eval.experiments import run_figure
 from repro.eval.report import render_figure
@@ -14,6 +14,7 @@ def test_figure5(benchmark):
             designs=bench_designs() or DESIGN_MNEMONICS,
             workloads=bench_workloads(),
             max_instructions=bench_insts(),
+            jobs=bench_jobs(),
         )
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+"""Timing check for the parallel engine and the result store.
+
+Runs a 4-workload x 3-design grid three ways — serial, 4 worker
+processes, and a warm-cache rerun — archiving the wall-clock comparison
+under ``results/``.  The speedup of ``--jobs 4`` depends on the host's
+core count (a single-core CI box sees none), so only the *semantics*
+are asserted: identical results on every path, and a warm rerun that
+answers entirely from the store without simulating.
+"""
+
+import time
+
+from conftest import archive, bench_insts
+
+from repro.eval.parallel import run_many
+from repro.eval.resultstore import ResultStore
+from repro.eval.runner import RunRequest
+
+WORKLOADS = ("espresso", "xlisp", "compress", "tfft")
+DESIGNS = ("T4", "T1", "M8")
+
+
+def test_parallel_and_store_timing(tmp_path):
+    grid = [
+        RunRequest(workload=w, design=d, max_instructions=bench_insts(8_000))
+        for w in WORKLOADS
+        for d in DESIGNS
+    ]
+
+    started = time.perf_counter()
+    serial = run_many(grid, jobs=1)
+    t_serial = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_many(grid, jobs=4)
+    t_parallel = time.perf_counter() - started
+
+    cold_store = ResultStore(tmp_path)
+    run_many(grid, jobs=4, store=cold_store)
+    warm_store = ResultStore(tmp_path)
+    started = time.perf_counter()
+    warm = run_many(grid, jobs=4, store=warm_store)
+    t_warm = time.perf_counter() - started
+
+    lines = [
+        f"parallel engine timing ({len(WORKLOADS)} workloads x {len(DESIGNS)} designs,"
+        f" {grid[0].max_instructions} insts/run)",
+        "",
+        f"  jobs=1 (serial)      {t_serial:8.2f}s",
+        f"  jobs=4               {t_parallel:8.2f}s  ({t_serial / t_parallel:4.2f}x)",
+        f"  jobs=4, warm cache   {t_warm:8.2f}s  ({t_serial / t_warm:4.2f}x)",
+        "",
+        f"  warm-cache store traffic: {warm_store.stats.render()}",
+    ]
+    archive("parallel_timing", "\n".join(lines))
+
+    # Parallel execution is bit-identical to serial.
+    assert [r.to_dict() for r in parallel] == [r.to_dict() for r in serial]
+    # The cold pass simulated and stored the whole grid ...
+    assert cold_store.stats.puts == len(grid)
+    # ... and the warm rerun answered every run from the store without
+    # simulating anything.
+    assert warm_store.stats.hits == len(grid)
+    assert warm_store.stats.misses == 0
+    assert warm_store.stats.puts == 0
+    assert [r.to_dict()["stats"] for r in warm] == [
+        r.to_dict()["stats"] for r in serial
+    ]
+    # A pure cache replay must beat rerunning the simulations.
+    assert t_warm < t_serial

@@ -1,6 +1,6 @@
 """Regenerate the paper's Table 3 (baseline program characterization)."""
 
-from conftest import archive, bench_insts, bench_workloads
+from conftest import archive, bench_insts, bench_jobs, bench_workloads
 
 from repro.eval.experiments import run_table3
 from repro.eval.report import render_table3
@@ -9,7 +9,9 @@ from repro.eval.report import render_table3
 def test_table3(benchmark):
     def run():
         return run_table3(
-            workloads=bench_workloads(), max_instructions=bench_insts()
+            workloads=bench_workloads(),
+            max_instructions=bench_insts(),
+            jobs=bench_jobs(),
         )
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -3,10 +3,20 @@ Translation for Multiple-Issue Processors" (ISCA 1996).
 
 Quick start::
 
-    from repro import RunRequest, run_one
+    from repro import ResultStore, RunRequest, run_many, run_one
 
     result = run_one(RunRequest(workload="xlisp", design="M8"))
     print(result.ipc, result.stats.translation.shielded_fraction)
+
+    # A whole grid: sharded across 4 worker processes and memoized in
+    # the on-disk result store, so re-running it is pure cache hits.
+    grid = [
+        RunRequest(workload=w, design=d)
+        for w in ("xlisp", "compress")
+        for d in ("T4", "M8", "PB2")
+    ]
+    results = run_many(grid, jobs=4, store=ResultStore())
+    print({r.name: round(r.ipc, 3) for r in results})
 
 Packages
 --------
@@ -22,21 +32,26 @@ Packages
 """
 
 from repro.engine import Machine, MachineConfig, SimulationResult
-from repro.eval.runner import RunRequest, run_one
+from repro.eval.parallel import run_many
+from repro.eval.resultstore import ResultStore
+from repro.eval.runner import RunRequest, RunResult, run_one
 from repro.tlb import DESIGN_MNEMONICS, make_mechanism
 from repro.workloads import iter_workload_names, make_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DESIGN_MNEMONICS",
     "Machine",
     "MachineConfig",
+    "ResultStore",
     "RunRequest",
+    "RunResult",
     "SimulationResult",
     "__version__",
     "iter_workload_names",
     "make_mechanism",
     "make_workload",
+    "run_many",
     "run_one",
 ]

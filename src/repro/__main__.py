@@ -40,14 +40,15 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    req = RunRequest(
-        workload=args.workload,
-        design=args.design,
+    req = RunRequest.create(
+        args.workload,
+        args.design,
         issue_model="inorder" if args.inorder else "ooo",
         page_size=args.pages,
         int_regs=args.regs,
         fp_regs=args.regs,
         max_instructions=args.insts,
+        **({"model_itlb": True} if args.itlb else {}),
     )
     result = run_one(req)
     s = result.stats
@@ -64,6 +65,8 @@ def _cmd_run(args) -> int:
     print(f"  base TLB miss rate  {100 * t.base_miss_rate:.2f}%  ({s.tlb_miss_services} walks)")
     print(f"  forwarded loads     {s.forwarded_loads}")
     print(f"  dcache miss rate    {100 * s.dcache.miss_rate:.2f}%")
+    if args.itlb:
+        print(f"  itlb misses         {s.itlb_misses}")
     return 0
 
 
@@ -142,6 +145,9 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--inorder", action="store_true")
     p_run.add_argument("--pages", type=int, default=4096)
     p_run.add_argument("--regs", type=int, default=32)
+    p_run.add_argument(
+        "--itlb", action="store_true", help="model the instruction-side micro-TLB"
+    )
 
     p_prof = sub.add_parser("profile", help="spatial locality profile")
     p_prof.add_argument("workload")

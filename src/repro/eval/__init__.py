@@ -1,6 +1,11 @@
 """Evaluation harness: regenerates every table and figure of Section 4.
 
-* :mod:`repro.eval.runner` — single timing runs with build caching;
+* :mod:`repro.eval.runner` — the canonical :class:`RunRequest` /
+  :class:`RunResult` pair and single-run execution with build caching;
+* :mod:`repro.eval.parallel` — :func:`run_many`: grids sharded across
+  worker processes, grouped by workload;
+* :mod:`repro.eval.resultstore` — content-addressed on-disk memoization
+  of finished runs (request hash + code fingerprint);
 * :mod:`repro.eval.weighting` — run-time-weighted averaging (the paper's
   aggregation: IPCs weighted by each benchmark's T4 run time, normalized
   to T4);
@@ -10,10 +15,10 @@
 * :mod:`repro.eval.export` — CSV/JSON serialization of results;
 * :mod:`repro.eval.report` — ASCII tables matching the paper's layout.
 
-Run ``python -m repro.eval <experiment>`` to regenerate one experiment
-(``table3``, ``figure5`` ... ``figure9``), or ``python -m repro.eval
-scorecard`` to evaluate every encoded paper claim (:mod:`repro.eval.claims`)
-against fresh simulations.
+Run ``python -m repro.eval <experiment> [--jobs N] [--no-cache]`` to
+regenerate one experiment (``table3``, ``figure5`` ... ``figure9``), or
+``python -m repro.eval scorecard`` to evaluate every encoded paper claim
+(:mod:`repro.eval.claims`) against fresh simulations.
 """
 
 from repro.eval.experiments import (
@@ -24,17 +29,24 @@ from repro.eval.experiments import (
     run_table3,
 )
 from repro.eval.missrates import run_figure6
-from repro.eval.runner import RunRequest, run_one
+from repro.eval.parallel import run_many
+from repro.eval.resultstore import ResultStore, code_fingerprint
+from repro.eval.runner import RunRequest, RunResult, run_one, simulate
 from repro.eval.weighting import normalized_rtw_average
 
 __all__ = [
     "EXPERIMENTS",
     "ExperimentSpec",
+    "ResultStore",
     "RunRequest",
+    "RunResult",
+    "code_fingerprint",
     "normalized_rtw_average",
     "run_experiment",
     "run_figure",
     "run_figure6",
+    "run_many",
     "run_one",
     "run_table3",
+    "simulate",
 ]

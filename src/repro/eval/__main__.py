@@ -2,10 +2,18 @@
 
 Usage::
 
-    python -m repro.eval table3 [--insts N]
-    python -m repro.eval figure5 [--insts N] [--designs T4,T1,M8]
+    python -m repro.eval table3 [--insts N] [--jobs N] [--no-cache]
+    python -m repro.eval figure5 [--insts N] [--designs T4,T1,M8] [--jobs 4]
     python -m repro.eval figure6 [--insts N]
     python -m repro.eval figure7|figure8|figure9 ...
+    python -m repro.eval scorecard [--jobs 4]
+
+Timing grids shard across ``--jobs`` worker processes (grouped by
+workload) and memoize every run in the on-disk result store, so
+regenerating an unchanged figure is pure cache hits — rerun with
+``--no-cache`` to force fresh simulations.  The store honors
+``$REPRO_RESULT_STORE`` and ``--store DIR``; its hit/miss/stored
+counts are reported on stderr after each experiment.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ import time
 from repro.eval.experiments import EXPERIMENTS, run_figure, run_table3
 from repro.eval.missrates import run_figure6
 from repro.eval.report import render_figure, render_figure6, render_table3
+from repro.eval.resultstore import ResultStore
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -52,22 +61,58 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="comma-separated workload subset (default: all ten)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the run grid (default 1 = serial; "
+        "0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result store (always simulate)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="result-store directory (default: $REPRO_RESULT_STORE or "
+        "~/.cache/repro/runstore)",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress progress lines")
     args = parser.parse_args(argv)
 
     workloads = args.workloads.split(",") if args.workloads else None
     progress = None if args.quiet else lambda msg: print(f"  .. {msg}", file=sys.stderr)
+    jobs = args.jobs if args.jobs > 0 else None
+    store = None
+    if not args.no_cache and args.experiment != "figure6":
+        store = ResultStore(args.store)
 
     started = time.time()
     if args.experiment == "scorecard":
         from repro.eval.claims import run_scorecard
 
         result = run_scorecard(
-            max_instructions=args.insts, workloads=workloads, progress=progress
+            max_instructions=args.insts,
+            workloads=workloads,
+            progress=progress,
+            jobs=jobs,
+            store=store,
         )
         print(result.render())
     elif args.experiment == "table3":
-        print(render_table3(run_table3(workloads=workloads, max_instructions=args.insts)))
+        print(
+            render_table3(
+                run_table3(
+                    workloads=workloads,
+                    max_instructions=args.insts,
+                    jobs=jobs,
+                    store=store,
+                )
+            )
+        )
     elif args.experiment == "figure6":
         print(
             render_figure6(
@@ -76,12 +121,20 @@ def main(argv: list[str] | None = None) -> int:
         )
     else:
         designs = args.designs.split(",") if args.designs else None
-        kwargs = dict(workloads=workloads, max_instructions=args.insts, progress=progress)
+        kwargs = dict(
+            workloads=workloads,
+            max_instructions=args.insts,
+            progress=progress,
+            jobs=jobs,
+            store=store,
+        )
         if designs is not None:
             kwargs["designs"] = designs
         result = run_figure(args.experiment, **kwargs)
         print(render_figure(result))
     print(f"\n[{args.experiment} regenerated in {time.time() - started:.1f}s]", file=sys.stderr)
+    if store is not None:
+        print(f"[result store: {store.stats.render()} | {store.root}]", file=sys.stderr)
     return 0
 
 

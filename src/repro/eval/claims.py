@@ -153,18 +153,19 @@ class ScorecardResult:
 
 
 def run_scorecard(
-    max_instructions: int = 20_000, workloads=None, progress=None
+    max_instructions: int = 20_000, workloads=None, progress=None, jobs: int = 1, store=None
 ) -> ScorecardResult:
     """Run the three figure grids and evaluate every claim."""
-    fig5 = run_figure(
-        "figure5", workloads=workloads, max_instructions=max_instructions, progress=progress
+    grid = dict(
+        workloads=workloads,
+        max_instructions=max_instructions,
+        progress=progress,
+        jobs=jobs,
+        store=store,
     )
-    fig7 = run_figure(
-        "figure7", workloads=workloads, max_instructions=max_instructions, progress=progress
-    )
-    fig9 = run_figure(
-        "figure9", workloads=workloads, max_instructions=max_instructions, progress=progress
-    )
+    fig5 = run_figure("figure5", **grid)
+    fig7 = run_figure("figure7", **grid)
+    fig9 = run_figure("figure9", **grid)
     passed, failed = [], []
     for claim in CLAIMS:
         (passed if claim.check(fig5, fig7, fig9) else failed).append(claim)

@@ -11,8 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
-from repro.engine.machine import SimulationResult
-from repro.eval.runner import RunRequest, run_one
+from repro.eval.parallel import run_many
+from repro.eval.runner import RunRequest, RunResult
 from repro.eval.weighting import normalized_rtw_average
 from repro.tlb.factory import DESIGN_MNEMONICS
 from repro.workloads import iter_workload_names
@@ -70,8 +70,8 @@ class FigureResult:
     spec: ExperimentSpec
     designs: tuple[str, ...]
     workloads: tuple[str, ...]
-    #: results[design][workload] -> SimulationResult
-    results: dict[str, dict[str, SimulationResult]]
+    #: results[design][workload] -> RunResult
+    results: dict[str, dict[str, RunResult]]
     #: Per-design RTW-average IPC normalized to T4.
     relative_ipc: dict[str, float]
 
@@ -91,22 +91,28 @@ def run_figure(
     max_instructions: int = 60_000,
     scale: float = 1.0,
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    store=None,
 ) -> FigureResult:
     """Run one relative-performance figure's full design x workload grid.
 
-    ``T4`` is always included (it is the normalization reference).
+    ``T4`` is always included (it is the normalization reference).  The
+    grid is evaluated through :func:`repro.eval.parallel.run_many`:
+    ``jobs`` worker processes (sharded by workload) and an optional
+    result ``store`` that memoizes every run on disk.
     """
     spec = EXPERIMENTS[key]
     design_list = list(dict.fromkeys(["T4", *designs]))
     workload_list = list(workloads) if workloads is not None else list(iter_workload_names())
-    results: dict[str, dict[str, SimulationResult]] = {}
-    for design in design_list:
-        per: dict[str, SimulationResult] = {}
-        for workload in workload_list:
-            per[workload] = run_one(spec.request(workload, design, max_instructions, scale))
-            if progress is not None:
-                progress(f"{spec.key}: {design} / {workload} done")
-        results[design] = per
+    requests = [
+        spec.request(workload, design, max_instructions, scale)
+        for workload in workload_list
+        for design in design_list
+    ]
+    grid = run_many(requests, jobs=jobs, store=store, progress=progress)
+    results: dict[str, dict[str, RunResult]] = {d: {} for d in design_list}
+    for req, res in zip(requests, grid):
+        results[req.design][req.workload] = res
     t4_cycles = {w: float(results["T4"][w].cycles) for w in workload_list}
     ipc_by_design = {
         d: {w: results[d][w].ipc for w in workload_list} for d in design_list
@@ -139,16 +145,19 @@ def run_table3(
     workloads: Iterable[str] | None = None,
     max_instructions: int = 60_000,
     scale: float = 1.0,
+    jobs: int = 1,
+    store=None,
 ) -> list[Table3Row]:
     """Baseline (OOO, T4) per-program execution statistics."""
     spec = EXPERIMENTS["figure5"]
+    names = list(workloads) if workloads is not None else list(iter_workload_names())
+    requests = [spec.request(w, "T4", max_instructions, scale) for w in names]
     rows = []
-    for workload in workloads if workloads is not None else iter_workload_names():
-        res = run_one(spec.request(workload, "T4", max_instructions, scale))
+    for res in run_many(requests, jobs=jobs, store=store):
         s = res.stats
         rows.append(
             Table3Row(
-                program=workload,
+                program=res.request.workload,
                 instructions=s.committed,
                 loads=s.loads,
                 stores=s.stores,
@@ -168,6 +177,10 @@ def run_experiment(key: str, **kwargs):
     if key == "figure6":
         from repro.eval.missrates import run_figure6
 
+        # Figure 6 is trace-driven (no timing runs): nothing to shard
+        # or memoize, so the engine knobs do not apply.
+        kwargs.pop("jobs", None)
+        kwargs.pop("store", None)
         return run_figure6(**kwargs)
     if key in EXPERIMENTS:
         return run_figure(key, **kwargs)

@@ -1,0 +1,120 @@
+"""Parallel evaluation engine: fan a run grid out across processes.
+
+:func:`run_many` is the batch counterpart of
+:func:`repro.eval.runner.run_one`.  It takes any iterable of
+:class:`~repro.eval.runner.RunRequest` and returns the matching
+:class:`~repro.eval.runner.RunResult` list *in input order*, after:
+
+1. answering every request it can from the result store (if given);
+2. deduplicating identical requests (one simulation, many receivers);
+3. grouping the rest by workload build, so each worker process builds
+   and traces a workload once and replays it under every design —
+   the same sharing the in-process ``_BuildCache`` gives a serial grid;
+4. running the groups either inline (``jobs <= 1``) or on a
+   ``ProcessPoolExecutor`` with ``jobs`` workers.
+
+Simulations are deterministic (every RNG in the machine is seeded), so
+a parallel grid is bit-identical to a serial one — only wall-clock
+changes.  Worker processes never touch the store; the parent persists
+results as groups complete, which keeps store writes single-writer per
+invocation while remaining safe across concurrent invocations (writes
+are atomic).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Iterable
+
+from repro.eval.runner import RunRequest, RunResult, simulate
+
+
+def _build_key(req: RunRequest) -> tuple:
+    """Requests sharing this key share a workload build (and trace)."""
+    return (req.workload, req.int_regs, req.fp_regs, req.scale)
+
+
+def _run_group(reqs: list[RunRequest]) -> list[RunResult]:
+    """Worker entry point: simulate one workload's batch serially."""
+    return [simulate(r) for r in reqs]
+
+
+def run_many(
+    requests: Iterable[RunRequest],
+    jobs: int | None = 1,
+    store=None,
+    progress: Callable[[str], None] | None = None,
+) -> list[RunResult]:
+    """Run a batch of requests, parallel and memoized; results in order.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``<= 1`` runs inline in this process (still
+        grouped by workload for trace reuse); ``None`` means one per
+        CPU.  Parallelism is per workload group, so more jobs than
+        distinct workloads does not help.
+    store:
+        A :class:`repro.eval.resultstore.ResultStore` (or None).  Hits
+        skip simulation entirely; fresh results are persisted.
+    progress:
+        Optional callback receiving one line per finished/cached run.
+    """
+    reqs = list(requests)
+    results: list[RunResult | None] = [None] * len(reqs)
+
+    # 1. Dedup identical requests and satisfy what we can from the store.
+    receivers: dict[RunRequest, list[int]] = {}
+    cached: dict[RunRequest, RunResult] = {}
+    for i, req in enumerate(reqs):
+        if req in receivers:
+            receivers[req].append(i)
+            continue
+        if req in cached:
+            results[i] = cached[req]
+            continue
+        if store is not None:
+            hit = store.get(req)
+            if hit is not None:
+                results[i] = cached[req] = hit
+                if progress is not None:
+                    progress(f"{req.name}: cached")
+                continue
+        receivers[req] = [i]
+
+    def finish(req: RunRequest, result: RunResult) -> None:
+        for i in receivers[req]:
+            results[i] = result
+        if store is not None:
+            store.put(result)
+        if progress is not None:
+            progress(f"{req.name}: done")
+
+    # 2. Shard the remainder into workload-build groups, in first-seen
+    # order (workload-major execution keeps the build LRU warm).
+    groups: dict[tuple, list[RunRequest]] = {}
+    for req in receivers:
+        groups.setdefault(_build_key(req), []).append(req)
+
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+
+    if jobs <= 1 or len(groups) <= 1:
+        for group in groups.values():
+            for req in group:
+                finish(req, simulate(req))
+        return results  # type: ignore[return-value]
+
+    # 3. One task per workload group; persist/report as each completes.
+    with ProcessPoolExecutor(max_workers=min(jobs, len(groups))) as pool:
+        pending = {
+            pool.submit(_run_group, group): group for group in groups.values()
+        }
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                group = pending.pop(future)
+                for req, result in zip(group, future.result()):
+                    finish(req, result)
+    return results  # type: ignore[return-value]

@@ -1,0 +1,137 @@
+"""Content-addressed on-disk store of finished timing runs.
+
+Every figure and table in the paper is a grid of independent
+(workload x design x config) runs; a run's outcome is fully determined
+by its :class:`~repro.eval.runner.RunRequest` and the simulator source.
+The store therefore keys each :class:`~repro.eval.runner.RunResult` by
+
+    sha256(canonical-JSON(request)  +  code fingerprint)
+
+where the fingerprint hashes every ``.py`` file under the installed
+``repro`` package.  Invalidation rule: change *any* request field or
+*any* source file and the key changes — stale entries are simply never
+looked up again (prune them with :meth:`ResultStore.clear`).
+
+Layout (JSON, one file per run, two-hex-char shard directories)::
+
+    <root>/ab/abcdef....json
+
+``<root>`` defaults to ``$REPRO_RESULT_STORE`` or
+``~/.cache/repro/runstore``.  Writes are atomic (temp file + rename) so
+concurrent workers and concurrent CLI invocations can share a store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.eval.runner import RunRequest, RunResult
+
+_FINGERPRINT: str | None = None
+
+
+def code_fingerprint() -> str:
+    """Hash of the repro package's source (cached per process).
+
+    Covers file names and contents of every ``*.py`` under the package
+    root, so any change to the simulator invalidates every stored run.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _FINGERPRINT = digest.hexdigest()[:16]
+    return _FINGERPRINT
+
+
+@dataclass
+class StoreStats:
+    """Per-process counters of store traffic (the re-simulation audit)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    def render(self) -> str:
+        return f"{self.hits} hits, {self.misses} misses, {self.puts} stored"
+
+
+class ResultStore:
+    """Persistent, content-addressed map RunRequest -> RunResult."""
+
+    def __init__(self, root: str | Path | None = None, fingerprint: str | None = None):
+        if root is None:
+            root = os.environ.get("REPRO_RESULT_STORE") or (
+                Path.home() / ".cache" / "repro" / "runstore"
+            )
+        self.root = Path(root)
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.stats = StoreStats()
+
+    def key(self, req: RunRequest) -> str:
+        """The on-disk key: request content hash + code fingerprint."""
+        payload = json.dumps(
+            {"request": req.to_dict(), "code": self.fingerprint},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def path_for(self, req: RunRequest) -> Path:
+        key = self.key(req)
+        return self.root / key[:2] / f"{key}.json"
+
+    def __contains__(self, req: RunRequest) -> bool:
+        return self.path_for(req).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json")) if self.root.exists() else 0
+
+    def get(self, req: RunRequest) -> RunResult | None:
+        """The stored result for ``req``, or None (counts a hit/miss)."""
+        path = self.path_for(req)
+        try:
+            text = path.read_text()
+            result = RunResult.from_dict(json.loads(text))
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing or corrupt entry: treat as a miss (it will be
+            # recomputed and overwritten).
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, result: RunResult) -> Path:
+        """Persist ``result`` atomically; returns the entry's path."""
+        key = self.key(result.request)
+        path = self.root / key[:2] / f"{key}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = result.to_dict()
+        provenance = dict(payload.get("provenance") or {})
+        provenance["code_fingerprint"] = self.fingerprint
+        payload["provenance"] = provenance
+        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+        self.stats.puts += 1
+        return path
+
+    def clear(self) -> int:
+        """Delete every stored entry; returns the number removed."""
+        removed = 0
+        if self.root.exists():
+            for path in self.root.glob("??/*.json"):
+                path.unlink()
+                removed += 1
+        return removed

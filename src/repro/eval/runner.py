@@ -1,26 +1,66 @@
-"""Single-run driver with workload-build caching.
+"""Single-run driver: the canonical run description and its executor.
 
-Timing sweeps run each workload under many translation designs; the
-program and initialized memory image depend only on (workload, register
-budget, scale), so they are built once and the memory image is cloned
-per run.
+:class:`RunRequest` is the *only* way a timing run is described anywhere
+in the library — the experiment drivers, the ablation sweeps, both CLIs
+and the benchmark harness all build one and hand it to :func:`run_one`
+(or in batches to :func:`repro.eval.parallel.run_many`).  A request is
+frozen, hashable and serializable, so it can be sent to a worker
+process, used as a dict key, and content-hashed for the on-disk result
+store (:mod:`repro.eval.resultstore`).
+
+:func:`run_one` returns a :class:`RunResult`: the full machine counters
+plus the request that produced them and provenance, round-trippable
+through ``to_dict``/``from_dict``.
+
+Workload programs and their dynamic traces depend only on (workload,
+register budget, scale[, budget]) — not on the translation design — so
+they are cached per process in a small LRU (:class:`_BuildCache`) and
+replayed under every design.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import dataclasses
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field, fields
+from typing import Any, Mapping
 
+from repro.caches.cache import CacheStats
 from repro.engine.config import MachineConfig
-from repro.engine.machine import Machine, SimulationResult
+from repro.engine.machine import Machine
+from repro.engine.stats import MachineStats
 from repro.func.executor import Executor
-from repro.tlb.factory import make_mechanism
+from repro.tlb.base import TranslationMechanism
+from repro.tlb.factory import make_mechanism, make_mechanism_from_spec
+from repro.tlb.stats import TranslationStats
 from repro.workloads import make_workload
 from repro.workloads.base import WorkloadBuild
+
+#: Bumped whenever the RunResult serialization layout changes.
+SCHEMA_VERSION = 2
+
+
+def _normalize_pairs(value) -> tuple[tuple[str, Any], ...]:
+    """Canonicalize a mapping / iterable of pairs to sorted tuples."""
+    items = value.items() if isinstance(value, Mapping) else value
+    return tuple(sorted((str(k), v) for k, v in items))
 
 
 @dataclass(frozen=True)
 class RunRequest:
-    """Everything that identifies one timing run."""
+    """Everything that identifies one timing run.
+
+    Beyond the grid axes the paper's figures vary (design, issue model,
+    page size, register budget), ``config`` carries arbitrary
+    :class:`~repro.engine.config.MachineConfig` overrides as sorted
+    ``(name, value)`` pairs, and ``mechanism`` optionally replaces the
+    ``design`` mnemonic with a declarative ``(class name, kwargs)``
+    mechanism spec (see :func:`repro.tlb.factory.make_mechanism_from_spec`)
+    — the ablation sweeps use both.  Prefer :meth:`create`, which routes
+    unknown keyword arguments into ``config`` automatically.
+    """
 
     workload: str
     design: str
@@ -30,21 +70,184 @@ class RunRequest:
     fp_regs: int = 32
     scale: float = 1.0
     max_instructions: int = 60_000
+    #: Extra MachineConfig overrides, as sorted (name, value) pairs.
+    config: tuple[tuple[str, Any], ...] = ()
+    #: Declarative mechanism spec (class name, sorted kwargs pairs);
+    #: None means "instantiate the ``design`` mnemonic via the factory".
+    mechanism: tuple[str, tuple[tuple[str, Any], ...]] | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "config", _normalize_pairs(self.config))
+        if self.mechanism is not None:
+            name, kwargs = self.mechanism
+            object.__setattr__(
+                self, "mechanism", (str(name), _normalize_pairs(kwargs))
+            )
+
+    @classmethod
+    def create(cls, workload: str, design: str, *, mechanism=None, **options):
+        """Build a request, routing non-field options into ``config``."""
+        known = {f.name for f in fields(cls)} - {"workload", "design", "mechanism"}
+        direct = {k: options.pop(k) for k in list(options) if k in known}
+        if options:
+            merged = dict(_normalize_pairs(direct.get("config", ())))
+            merged.update(options)
+            direct["config"] = merged
+        return cls(workload=workload, design=design, mechanism=mechanism, **direct)
+
+    # -- derived objects ----------------------------------------------------
+
+    def machine_config(self) -> MachineConfig:
+        """The MachineConfig this request describes."""
+        return MachineConfig(
+            issue_model=self.issue_model,
+            page_size=self.page_size,
+            **dict(self.config),
+        )
+
+    def make_mech(self, page_shift: int) -> TranslationMechanism:
+        """Instantiate the translation mechanism this request names."""
+        if self.mechanism is not None:
+            return make_mechanism_from_spec(self.mechanism, page_shift)
+        return make_mechanism(self.design, page_shift)
+
+    @property
+    def name(self) -> str:
+        """Display name, e.g. ``xlisp/M8``."""
+        return f"{self.workload}/{self.design}"
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "design": self.design,
+            "issue_model": self.issue_model,
+            "page_size": self.page_size,
+            "int_regs": self.int_regs,
+            "fp_regs": self.fp_regs,
+            "scale": self.scale,
+            "max_instructions": self.max_instructions,
+            "config": [list(pair) for pair in self.config],
+            "mechanism": (
+                None
+                if self.mechanism is None
+                else [self.mechanism[0], [list(p) for p in self.mechanism[1]]]
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "RunRequest":
+        d = dict(d)
+        mech = d.pop("mechanism", None)
+        if mech is not None:
+            mech = (mech[0], tuple((k, v) for k, v in mech[1]))
+        return cls(mechanism=mech, **d)
+
+    def key(self) -> str:
+        """Stable content hash of this request (hex).
+
+        Two requests have the same key iff every field matches; the
+        result store combines this with a code-version fingerprint to
+        form its on-disk key.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class RunResult:
+    """Outcome of one timing run: stats + the request + provenance.
+
+    Serializable via :meth:`to_dict`/:meth:`from_dict` (the result-store
+    on-disk format).  Exposes the same ``cycles``/``ipc``/``stats``/
+    ``name`` surface the old ``SimulationResult`` did, so downstream
+    consumers (report, export, analysis) are drop-in.
+    """
+
+    request: RunRequest
+    stats: MachineStats
+    provenance: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.request.name
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def ipc(self) -> float:
+        """Committed IPC."""
+        return self.stats.commit_ipc
+
+    def to_dict(self) -> dict[str, Any]:
+        stats = dataclasses.asdict(self.stats)
+        return {
+            "schema": SCHEMA_VERSION,
+            "request": self.request.to_dict(),
+            "stats": stats,
+            "provenance": dict(self.provenance),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "RunResult":
+        return cls(
+            request=RunRequest.from_dict(d["request"]),
+            stats=_stats_from_dict(d["stats"]),
+            provenance=dict(d.get("provenance", {})),
+        )
+
+
+def _stats_from_dict(d: Mapping[str, Any]) -> MachineStats:
+    """Rebuild MachineStats (and its nested stat objects) from a dict."""
+    d = dict(d)
+    icache = CacheStats(**d.pop("icache", {}))
+    dcache = CacheStats(**d.pop("dcache", {}))
+    translation = TranslationStats(**d.pop("translation", {}))
+    # JSON round-trips turn the demand histogram's int keys into strings.
+    demand = {int(k): v for k, v in d.pop("translation_demand", {}).items()}
+    known = {f.name for f in fields(MachineStats)}
+    return MachineStats(
+        icache=icache,
+        dcache=dcache,
+        translation=translation,
+        translation_demand=demand,
+        **{k: v for k, v in d.items() if k in known},
+    )
 
 
 @dataclass
 class _BuildCache:
-    builds: dict[tuple, WorkloadBuild] = field(default_factory=dict)
-    traces: dict[tuple, list] = field(default_factory=dict)
+    """Bounded per-process LRU of workload builds and dynamic traces.
+
+    Traces dominate memory (tens of thousands of DynInst records each),
+    so both maps are bounded; evicting a build also evicts the traces
+    materialized from it.  Grid drivers order their runs workload-major
+    (see :func:`repro.eval.parallel.run_many`), so a small bound still
+    gives every design of a workload a warm trace.
+    """
+
+    max_builds: int = 8
+    max_traces: int = 4
+    builds: OrderedDict = field(default_factory=OrderedDict)
+    traces: OrderedDict = field(default_factory=OrderedDict)
 
     def get(self, workload: str, int_regs: int, fp_regs: int, scale: float) -> WorkloadBuild:
         key = (workload, int_regs, fp_regs, scale)
         build = self.builds.get(key)
-        if build is None:
-            build = make_workload(workload).build(
-                int_regs=int_regs, fp_regs=fp_regs, scale=scale
-            )
-            self.builds[key] = build
+        if build is not None:
+            self.builds.move_to_end(key)
+            return build
+        build = make_workload(workload).build(
+            int_regs=int_regs, fp_regs=fp_regs, scale=scale
+        )
+        self.builds[key] = build
+        while len(self.builds) > self.max_builds:
+            evicted, _ = self.builds.popitem(last=False)
+            for tkey in [t for t in self.traces if t[:4] == evicted]:
+                del self.traces[tkey]
         return build
 
     def get_trace(
@@ -63,11 +266,15 @@ class _BuildCache:
         """
         key = (workload, int_regs, fp_regs, scale, max_instructions)
         trace = self.traces.get(key)
-        if trace is None:
-            build = self.get(workload, int_regs, fp_regs, scale)
-            executor = Executor(build.program, build.memory.clone())
-            trace = list(executor.run(max_instructions=max_instructions))
-            self.traces[key] = trace
+        if trace is not None:
+            self.traces.move_to_end(key)
+            return trace
+        build = self.get(workload, int_regs, fp_regs, scale)
+        executor = Executor(build.program, build.memory.clone())
+        trace = list(executor.run(max_instructions=max_instructions))
+        self.traces[key] = trace
+        while len(self.traces) > self.max_traces:
+            self.traces.popitem(last=False)
         return trace
 
 
@@ -80,14 +287,40 @@ def clear_build_cache() -> None:
     _CACHE.traces.clear()
 
 
-def run_one(req: RunRequest) -> SimulationResult:
-    """Execute one timing run and return its result."""
+def simulate(req: RunRequest, mechanism: TranslationMechanism | None = None) -> RunResult:
+    """Execute one timing run unconditionally (no result store).
+
+    ``mechanism`` lets a caller supply a pre-built mechanism instance
+    (the legacy callable-variant path of the ablation sweeps); such runs
+    are still returned as RunResults but cannot be content-addressed.
+    """
     trace = _CACHE.get_trace(
         req.workload, req.int_regs, req.fp_regs, req.scale, req.max_instructions
     )
-    config = MachineConfig(issue_model=req.issue_model, page_size=req.page_size)
-    mechanism = make_mechanism(req.design, config.page_shift)
-    machine = Machine(
-        config, mechanism, iter(trace), name=f"{req.workload}/{req.design}"
+    config = req.machine_config()
+    mech = mechanism if mechanism is not None else req.make_mech(config.page_shift)
+    machine = Machine(config, mech, iter(trace), name=req.name)
+    sim = machine.run()
+    import repro
+
+    return RunResult(
+        request=req,
+        stats=sim.stats,
+        provenance={"schema": SCHEMA_VERSION, "version": repro.__version__},
     )
-    return machine.run()
+
+
+def run_one(req: RunRequest, store=None) -> RunResult:
+    """Execute one timing run, memoized through ``store`` when given.
+
+    ``store`` is a :class:`repro.eval.resultstore.ResultStore` (or any
+    object with ``get(req)``/``put(result)``); ``None`` always simulates.
+    """
+    if store is not None:
+        cached = store.get(req)
+        if cached is not None:
+            return cached
+    result = simulate(req)
+    if store is not None:
+        store.put(result)
+    return result

@@ -17,24 +17,26 @@ but answer questions its design sections raise:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Sequence, Union
 
 from repro.engine.config import MachineConfig
-from repro.engine.machine import Machine, SimulationResult
-from repro.eval.runner import _CACHE
+from repro.eval.parallel import run_many
+from repro.eval.runner import RunRequest, RunResult, simulate
 from repro.eval.weighting import rtw_average
-from repro.func.executor import Executor
 from repro.tlb.base import TranslationMechanism
-from repro.tlb.factory import make_mechanism
-from repro.tlb.interleaved import InterleavedTLB
-from repro.tlb.multilevel import MultiLevelTLB
-from repro.tlb.multiported import MultiPortedTLB
-from repro.tlb.piggyback import PiggybackTLB
-from repro.tlb.pretranslation import PretranslationMechanism
 from repro.workloads import iter_workload_names
 
-#: A variant is a label plus a mechanism factory (given the page shift).
-Variant = tuple[str, Callable[[int], TranslationMechanism]]
+#: A variant pairs a label with a mechanism description: a factory
+#: mnemonic ("M8"), a declarative (class name, kwargs) spec — both
+#: serializable, so such sweeps parallelize and memoize through
+#: run_many — or a legacy ``page_shift -> mechanism`` callable, which
+#: still works but runs in-process and uncached.
+MechDescription = Union[
+    str,
+    tuple[str, dict],
+    Callable[[int], TranslationMechanism],
+]
+Variant = tuple[str, MechDescription]
 
 
 @dataclass
@@ -45,8 +47,8 @@ class SweepResult:
     workloads: tuple[str, ...]
     #: label -> RTW-average IPC relative to the sweep's first variant.
     relative: dict[str, float]
-    #: label -> {workload -> SimulationResult}
-    results: dict[str, dict[str, SimulationResult]]
+    #: label -> {workload -> RunResult}
+    results: dict[str, dict[str, RunResult]]
 
     def render(self) -> str:
         lines = [self.title, ""]
@@ -63,23 +65,49 @@ def run_variants(
     max_instructions: int = 20_000,
     config_overrides: dict | None = None,
     per_variant_config: dict[str, dict] | None = None,
+    jobs: int = 1,
+    store=None,
 ) -> SweepResult:
-    """Run each variant over the workloads; normalize to the first."""
+    """Run each variant over the workloads; normalize to the first.
+
+    Declaratively-described variants go through
+    :func:`repro.eval.parallel.run_many` (``jobs`` workers, optional
+    result ``store``); legacy callable factories run inline.
+    """
     names = list(workloads) if workloads is not None else list(iter_workload_names())
-    results: dict[str, dict[str, SimulationResult]] = {}
-    for label, factory in variants:
+    results: dict[str, dict[str, RunResult]] = {label: {} for label, _ in variants}
+    requests: list[RunRequest] = []
+    owners: list[tuple[str, str]] = []
+    for label, described in variants:
         overrides = dict(config_overrides or {})
         overrides.update((per_variant_config or {}).get(label, {}))
-        per: dict[str, SimulationResult] = {}
+        if callable(described):
+            for workload in names:
+                page_shift = MachineConfig(**overrides).page_shift
+                req = RunRequest.create(
+                    workload, label, max_instructions=max_instructions, **overrides
+                )
+                results[label][workload] = simulate(
+                    req, mechanism=described(page_shift)
+                )
+            continue
+        mechanism = None if isinstance(described, str) else described
+        design = described if isinstance(described, str) else label
         for workload in names:
-            config = MachineConfig(**overrides)
-            build = _CACHE.get(workload, 32, 32, 1.0)
-            mech = factory(config.page_shift)
-            trace = Executor(build.program, build.memory.clone()).run(
-                max_instructions=max_instructions
+            requests.append(
+                RunRequest.create(
+                    workload,
+                    design,
+                    mechanism=mechanism,
+                    max_instructions=max_instructions,
+                    **overrides,
+                )
             )
-            per[workload] = Machine(config, mech, trace, name=f"{workload}/{label}").run()
-        results[label] = per
+            owners.append((label, workload))
+    for (label, workload), res in zip(
+        owners, run_many(requests, jobs=jobs, store=store)
+    ):
+        results[label][workload] = res
     reference_label = variants[0][0]
     weights = {w: float(results[reference_label][w].cycles) for w in names}
     averages = {
@@ -99,11 +127,8 @@ def run_variants(
 def sweep_l1_replacement(**kw) -> SweepResult:
     """LRU vs random replacement in the M8 design's L1 TLB (§3.3)."""
     variants: list[Variant] = [
-        ("M8/L1-LRU", lambda ps: MultiLevelTLB(l1_entries=8, l1_replacement="lru", page_shift=ps)),
-        (
-            "M8/L1-random",
-            lambda ps: MultiLevelTLB(l1_entries=8, l1_replacement="random", page_shift=ps),
-        ),
+        ("M8/L1-LRU", ("MultiLevelTLB", {"l1_entries": 8, "l1_replacement": "lru"})),
+        ("M8/L1-random", ("MultiLevelTLB", {"l1_entries": 8, "l1_replacement": "random"})),
     ]
     return run_variants("L1 TLB replacement policy (M8)", variants, **kw)
 
@@ -111,10 +136,7 @@ def sweep_l1_replacement(**kw) -> SweepResult:
 def sweep_l1_size(sizes: Sequence[int] = (2, 4, 8, 16, 32), **kw) -> SweepResult:
     """L1 TLB capacity sweep for the multi-level design."""
     variants: list[Variant] = [
-        (
-            f"M{size}",
-            (lambda s: lambda ps: MultiLevelTLB(l1_entries=s, page_shift=ps))(size),
-        )
+        (f"M{size}", ("MultiLevelTLB", {"l1_entries": size}))
         for size in sorted(sizes, reverse=True)
     ]
     return run_variants("L1 TLB capacity (multi-level design)", variants, **kw)
@@ -123,12 +145,7 @@ def sweep_l1_size(sizes: Sequence[int] = (2, 4, 8, 16, 32), **kw) -> SweepResult
 def sweep_piggyback_ports(counts: Sequence[int] = (3, 2, 1, 0), **kw) -> SweepResult:
     """Riders per cycle on a single-ported piggybacked TLB (§3.4)."""
     variants: list[Variant] = [
-        (
-            f"PB1/{count}riders",
-            (lambda c: lambda ps: PiggybackTLB(ports=1, piggyback_ports=c, page_shift=ps))(
-                count
-            ),
-        )
+        (f"PB1/{count}riders", ("PiggybackTLB", {"ports": 1, "piggyback_ports": count}))
         for count in counts
     ]
     return run_variants("Piggyback ports on a single-ported TLB", variants, **kw)
@@ -137,10 +154,10 @@ def sweep_piggyback_ports(counts: Sequence[int] = (3, 2, 1, 0), **kw) -> SweepRe
 def sweep_bank_selection(**kw) -> SweepResult:
     """Bit selection vs XOR folding at 4 and 8 banks (§3.2)."""
     variants: list[Variant] = [
-        ("I4/bit", lambda ps: InterleavedTLB(banks=4, select="bit", page_shift=ps)),
-        ("I4/xor", lambda ps: InterleavedTLB(banks=4, select="xor", page_shift=ps)),
-        ("I8/bit", lambda ps: InterleavedTLB(banks=8, select="bit", page_shift=ps)),
-        ("I8/xor", lambda ps: InterleavedTLB(banks=8, select="xor", page_shift=ps)),
+        ("I4/bit", ("InterleavedTLB", {"banks": 4, "select": "bit"})),
+        ("I4/xor", ("InterleavedTLB", {"banks": 4, "select": "xor"})),
+        ("I8/bit", ("InterleavedTLB", {"banks": 8, "select": "bit"})),
+        ("I8/xor", ("InterleavedTLB", {"banks": 8, "select": "xor"})),
     ]
     return run_variants("Interleaved bank selection function", variants, **kw)
 
@@ -148,12 +165,7 @@ def sweep_bank_selection(**kw) -> SweepResult:
 def sweep_offset_tag_bits(bits: Sequence[int] = (4, 2, 0), **kw) -> SweepResult:
     """Width of the pretranslation tag's displacement field (§3.5)."""
     variants: list[Variant] = [
-        (
-            f"P8/off{b}",
-            (lambda v: lambda ps: PretranslationMechanism(offset_tag_bits=v, page_shift=ps))(
-                b
-            ),
-        )
+        (f"P8/off{b}", ("PretranslationMechanism", {"offset_tag_bits": b}))
         for b in bits
     ]
     return run_variants("Pretranslation offset-tag width", variants, **kw)
@@ -163,10 +175,7 @@ def sweep_tlb_miss_latency(
     latencies: Sequence[int] = (30, 10, 60, 100), design: str = "M8", **kw
 ) -> SweepResult:
     """Sensitivity of a shielded design to the miss-handler latency."""
-    variants: list[Variant] = [
-        (f"{design}/miss{lat}", lambda ps: make_mechanism(design, ps))
-        for lat in latencies
-    ]
+    variants: list[Variant] = [(f"{design}/miss{lat}", design) for lat in latencies]
     per_variant = {
         f"{design}/miss{lat}": {"tlb_miss_latency": lat} for lat in latencies
     }
@@ -180,12 +189,7 @@ def sweep_tlb_miss_latency(
 
 def sweep_related_designs(**kw) -> SweepResult:
     """Pretranslation vs the BAC/THB designs it extends (§3.5)."""
-    variants: list[Variant] = [
-        ("P8", lambda ps: make_mechanism("P8", ps)),
-        ("BAC32", lambda ps: make_mechanism("BAC32", ps)),
-        ("THB32", lambda ps: make_mechanism("THB32", ps)),
-        ("T1", lambda ps: make_mechanism("T1", ps)),
-    ]
+    variants: list[Variant] = [("P8", "P8"), ("BAC32", "BAC32"), ("THB32", "THB32"), ("T1", "T1")]
     return run_variants("Pretranslation vs related work (over T1 base)", variants, **kw)
 
 
@@ -193,10 +197,7 @@ def sweep_page_size(
     sizes: Sequence[int] = (4096, 8192, 16384), design: str = "M4", **kw
 ) -> SweepResult:
     """Page-size trend beyond Figure 8's single 8 KB point ([TH94])."""
-    variants: list[Variant] = [
-        (f"{design}/{size // 1024}K", lambda ps: make_mechanism(design, ps))
-        for size in sizes
-    ]
+    variants: list[Variant] = [(f"{design}/{size // 1024}K", design) for size in sizes]
     per_variant = {
         f"{design}/{size // 1024}K": {"page_size": size} for size in sizes
     }
@@ -210,12 +211,7 @@ def sweep_base_tlb_size(
 ) -> SweepResult:
     """Base-TLB capacity at fixed port count: reach vs the paper's 128."""
     variants: list[Variant] = [
-        (
-            f"T{ports}x{size}",
-            (lambda n: lambda ps: MultiPortedTLB(ports=ports, entries=n, page_shift=ps))(
-                size
-            ),
-        )
+        (f"T{ports}x{size}", ("MultiPortedTLB", {"ports": ports, "entries": size}))
         for size in sizes
     ]
     return run_variants(f"Base TLB capacity ({ports} ports)", variants, **kw)
@@ -224,9 +220,7 @@ def sweep_base_tlb_size(
 def sweep_predictor(**kw) -> SweepResult:
     """Direction-predictor choice behind the same T4 machine."""
     kinds = ("gap", "tournament", "gshare", "bimodal", "taken")
-    variants: list[Variant] = [
-        (f"T4/{kind}", lambda ps: make_mechanism("T4", ps)) for kind in kinds
-    ]
+    variants: list[Variant] = [(f"T4/{kind}", "T4") for kind in kinds]
     per_variant = {f"T4/{kind}": {"predictor": kind} for kind in kinds}
     return run_variants(
         "Branch predictor choice (T4)", variants, per_variant_config=per_variant, **kw
@@ -245,10 +239,7 @@ def sweep_context_switches(
     def label(interval: int) -> str:
         return f"{design}/cs-never" if interval == 0 else f"{design}/cs{interval}"
 
-    variants: list[Variant] = [
-        (label(interval), lambda ps: make_mechanism(design, ps))
-        for interval in intervals
-    ]
+    variants: list[Variant] = [(label(interval), design) for interval in intervals]
     per_variant = {
         label(interval): {"context_switch_interval": interval}
         for interval in intervals
@@ -264,9 +255,9 @@ def sweep_context_switches(
 def sweep_itlb(**kw) -> SweepResult:
     """Cost of modelling instruction-side translation (§1's scoping)."""
     variants: list[Variant] = [
-        ("T4/no-itlb", lambda ps: make_mechanism("T4", ps)),
-        ("T4/itlb32", lambda ps: make_mechanism("T4", ps)),
-        ("T4/itlb4", lambda ps: make_mechanism("T4", ps)),
+        ("T4/no-itlb", "T4"),
+        ("T4/itlb32", "T4"),
+        ("T4/itlb4", "T4"),
     ]
     per_variant = {
         "T4/itlb32": {"model_itlb": True, "itlb_entries": 32},

@@ -70,3 +70,36 @@ def make_mechanism(mnemonic: str, page_shift: int = 12) -> TranslationMechanism:
         known = ", ".join(sorted(_BUILDERS))
         raise ValueError(f"unknown design {mnemonic!r}; known designs: {known}")
     return builder(page_shift)
+
+
+#: Classes reachable from declarative mechanism specs (see below).
+MECHANISM_CLASSES: dict[str, type[TranslationMechanism]] = {
+    cls.__name__: cls
+    for cls in (
+        MultiPortedTLB,
+        PerfectTLB,
+        InterleavedTLB,
+        MultiLevelTLB,
+        PiggybackTLB,
+        PretranslationMechanism,
+        BranchAddressCache,
+        TranslationHintBuffer,
+    )
+}
+
+
+def make_mechanism_from_spec(spec, page_shift: int = 12) -> TranslationMechanism:
+    """Instantiate a mechanism from a declarative (class name, kwargs) spec.
+
+    ``spec`` is ``(class_name, kwargs)`` where ``kwargs`` is a mapping or
+    an iterable of ``(name, value)`` pairs — the serializable form the
+    ablation sweeps and :class:`repro.eval.runner.RunRequest` use in
+    place of closure-based factories, so off-grid design points can be
+    hashed, pickled to worker processes, and memoized on disk.
+    """
+    name, kwargs = spec
+    cls = MECHANISM_CLASSES.get(name)
+    if cls is None:
+        known = ", ".join(sorted(MECHANISM_CLASSES))
+        raise ValueError(f"unknown mechanism class {name!r}; known: {known}")
+    return cls(page_shift=page_shift, **dict(kwargs))

@@ -75,3 +75,56 @@ class TestEvalCli:
         # figure6 clamps the budget upward internally; keep workloads few.
         assert eval_main(["figure6", "--workloads", "espresso,doduc"]) == 0
         assert "RTW Avg" in capsys.readouterr().out
+
+    def test_parallel_jobs_identical_output(self, capsys, tmp_path):
+        argv = [
+            "figure5",
+            "--insts",
+            "2000",
+            "--designs",
+            "T1",
+            "--workloads",
+            "espresso,xlisp",
+            "--quiet",
+            "--store",
+            str(tmp_path),
+        ]
+        assert eval_main(argv + ["--jobs", "1", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert eval_main(argv + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_second_invocation_hits_store(self, capsys, tmp_path):
+        argv = [
+            "table3",
+            "--insts",
+            "2000",
+            "--workloads",
+            "espresso",
+            "--store",
+            str(tmp_path),
+            "--quiet",
+        ]
+        assert eval_main(argv) == 0
+        first = capsys.readouterr()
+        assert "1 misses, 1 stored" in first.err
+        assert eval_main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "1 hits, 0 misses, 0 stored" in second.err
+
+    def test_no_cache_skips_store(self, capsys, tmp_path):
+        argv = [
+            "table3",
+            "--insts",
+            "2000",
+            "--workloads",
+            "espresso",
+            "--store",
+            str(tmp_path),
+            "--quiet",
+            "--no-cache",
+        ]
+        assert eval_main(argv) == 0
+        assert "result store" not in capsys.readouterr().err
+        assert not any(tmp_path.glob("??/*.json"))

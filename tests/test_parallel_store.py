@@ -1,0 +1,185 @@
+"""Tests for the parallel evaluation engine and the on-disk result store."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.eval.parallel import run_many
+from repro.eval.resultstore import ResultStore, code_fingerprint
+from repro.eval.runner import RunRequest, RunResult, _BuildCache, run_one, simulate
+
+FAST = dict(max_instructions=2_000)
+SMALL_GRID = [
+    RunRequest(workload=w, design=d, **FAST)
+    for w in ("espresso", "xlisp")
+    for d in ("T4", "T1")
+]
+
+
+class TestRunRequest:
+    def test_create_routes_overrides_into_config(self):
+        req = RunRequest.create(
+            "espresso", "M8", page_size=8192, tlb_miss_latency=60, **FAST
+        )
+        assert req.page_size == 8192
+        assert req.config == (("tlb_miss_latency", 60),)
+        assert req.machine_config().tlb_miss_latency == 60
+
+    def test_config_is_canonicalized(self):
+        a = RunRequest("espresso", "T4", config={"b": 1, "a": 2})
+        b = RunRequest("espresso", "T4", config=[("a", 2), ("b", 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_round_trip(self):
+        req = RunRequest.create(
+            "xlisp",
+            "custom",
+            mechanism=("MultiLevelTLB", {"l1_entries": 4}),
+            predictor="gshare",
+            **FAST,
+        )
+        again = RunRequest.from_dict(json.loads(json.dumps(req.to_dict())))
+        assert again == req
+        assert again.key() == req.key()
+
+    def test_mechanism_spec_instantiates(self):
+        req = RunRequest(
+            "xlisp", "custom", mechanism=("MultiLevelTLB", {"l1_entries": 4})
+        )
+        mech = req.make_mech(12)
+        assert type(mech).__name__ == "MultiLevelTLB"
+
+    def test_unknown_mechanism_class_rejected(self):
+        req = RunRequest("xlisp", "custom", mechanism=("NoSuchTLB", {}))
+        with pytest.raises(ValueError):
+            req.make_mech(12)
+
+    def test_key_sensitive_to_every_field(self):
+        base = RunRequest(workload="espresso", design="T4")
+        variants = [
+            dataclasses.replace(base, workload="xlisp"),
+            dataclasses.replace(base, design="T1"),
+            dataclasses.replace(base, issue_model="inorder"),
+            dataclasses.replace(base, page_size=8192),
+            dataclasses.replace(base, int_regs=8),
+            dataclasses.replace(base, fp_regs=8),
+            dataclasses.replace(base, scale=2.0),
+            dataclasses.replace(base, max_instructions=1_000),
+            dataclasses.replace(base, config=(("tlb_miss_latency", 60),)),
+            dataclasses.replace(base, mechanism=("MultiPortedTLB", (("ports", 4),))),
+        ]
+        keys = {req.key() for req in variants}
+        assert len(keys) == len(variants), "some field does not affect the key"
+        assert base.key() not in keys
+        # Same content, same key.
+        assert base.key() == RunRequest(workload="espresso", design="T4").key()
+
+
+class TestRunResult:
+    def test_dict_round_trip_identity(self):
+        result = simulate(RunRequest(workload="espresso", design="M8", **FAST))
+        wire = json.loads(json.dumps(result.to_dict()))
+        again = RunResult.from_dict(wire)
+        assert again.to_dict() == result.to_dict()
+        assert again.ipc == result.ipc
+        assert again.cycles == result.cycles
+        assert again.name == "espresso/M8"
+        # The demand histogram's int keys survive the JSON round trip.
+        assert all(
+            isinstance(k, int) for k in again.stats.translation_demand
+        )
+
+
+class TestParallelDeterminism:
+    def test_parallel_matches_serial(self):
+        serial = run_many(SMALL_GRID, jobs=1)
+        parallel = run_many(SMALL_GRID, jobs=2)
+        assert [r.to_dict() for r in serial] == [r.to_dict() for r in parallel]
+
+    def test_results_in_input_order(self):
+        results = run_many(SMALL_GRID, jobs=2)
+        assert [r.request for r in results] == SMALL_GRID
+
+    def test_duplicate_requests_deduplicated(self):
+        req = RunRequest(workload="espresso", design="T4", **FAST)
+        a, b = run_many([req, req], jobs=1)
+        assert a is b
+
+
+class TestResultStore:
+    def test_miss_then_hit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        req = SMALL_GRID[0]
+        assert store.get(req) is None
+        result = run_one(req, store=store)
+        assert req in store
+        cached = store.get(req)
+        assert cached.to_dict()["stats"] == result.to_dict()["stats"]
+        assert store.stats.hits == 1 and store.stats.puts == 1
+        assert len(store) == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        run_one(SMALL_GRID[0], store=ResultStore(tmp_path))
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(SMALL_GRID[0]) is not None
+
+    def test_run_many_warm_rerun_skips_simulation(self, tmp_path):
+        cold = ResultStore(tmp_path)
+        run_many(SMALL_GRID, jobs=1, store=cold)
+        assert cold.stats.puts == len(SMALL_GRID)
+        warm = ResultStore(tmp_path)
+        results = run_many(SMALL_GRID, jobs=1, store=warm)
+        assert warm.stats.hits == len(SMALL_GRID)
+        assert warm.stats.misses == 0 and warm.stats.puts == 0
+        assert all(r is not None for r in results)
+
+    def test_fingerprint_changes_invalidate(self, tmp_path):
+        store = ResultStore(tmp_path, fingerprint="aaaa")
+        run_one(SMALL_GRID[0], store=store)
+        other = ResultStore(tmp_path, fingerprint="bbbb")
+        assert other.get(SMALL_GRID[0]) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(simulate(SMALL_GRID[0]))
+        path.write_text("{not json")
+        assert store.get(SMALL_GRID[0]) is None
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_one(SMALL_GRID[0], store=store)
+        assert store.clear() == 1
+        assert len(store) == 0
+
+    def test_code_fingerprint_stable(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 16
+
+
+class TestBuildCacheLRU:
+    def test_builds_bounded_and_traces_evicted_with_build(self):
+        cache = _BuildCache(max_builds=2, max_traces=8)
+        for regs in (32, 16, 8):
+            cache.get_trace("espresso", regs, regs, 1.0, 500)
+        assert len(cache.builds) == 2
+        # The oldest build (regs=32) and its trace are both gone.
+        assert ("espresso", 32, 32, 1.0) not in cache.builds
+        assert ("espresso", 32, 32, 1.0, 500) not in cache.traces
+
+    def test_traces_bounded_lru(self):
+        cache = _BuildCache(max_builds=4, max_traces=2)
+        for budget in (100, 200, 300):
+            cache.get_trace("espresso", 32, 32, 1.0, budget)
+        assert len(cache.traces) == 2
+        assert ("espresso", 32, 32, 1.0, 100) not in cache.traces
+
+    def test_lru_recency_respected(self):
+        cache = _BuildCache(max_builds=2, max_traces=4)
+        cache.get("espresso", 32, 32, 1.0)
+        cache.get("xlisp", 32, 32, 1.0)
+        cache.get("espresso", 32, 32, 1.0)  # refresh
+        cache.get("compress", 32, 32, 1.0)  # evicts xlisp, not espresso
+        assert ("espresso", 32, 32, 1.0) in cache.builds
+        assert ("xlisp", 32, 32, 1.0) not in cache.builds
