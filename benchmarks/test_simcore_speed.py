@@ -1,0 +1,192 @@
+"""Simulator-core throughput microbenchmark -> BENCH_simcore.json.
+
+Measures *warm* host throughput of ``Machine.run()`` — trace and fetch
+plan already cached, as in the steady state of a figure grid — over a
+small fixed workload x design mix, and records it as host simulated
+cycles per second.  The committed ``benchmarks/BENCH_simcore.json``
+holds the reference numbers (including the pre-event-driven seed
+baseline measured on the same host and settings); CI re-measures and
+fails if warm throughput regresses more than 30% against it.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/test_simcore_speed.py          # print
+    PYTHONPATH=src python benchmarks/test_simcore_speed.py --write  # refresh JSON
+    PYTHONPATH=src python benchmarks/test_simcore_speed.py --check  # CI gate
+
+Under pytest (sanity + timing via pytest-benchmark)::
+
+    PYTHONPATH=src pytest benchmarks/test_simcore_speed.py --benchmark-only
+
+``--check`` honors ``REPRO_BENCH_INSTS`` (smaller budgets for smoke
+runs) but always compares against the committed cycles/s, and
+``--threshold`` overrides the default 0.30 allowed regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from time import perf_counter
+
+BENCH_FILE = Path(__file__).resolve().parent / "BENCH_simcore.json"
+SCHEMA = 1
+
+#: Fixed measurement mix: the two extremes of translation pressure
+#: (T4 ideal vs T1 single-ported) plus one interleaved and one
+#: piggyback design, over an integer and a Lisp workload.
+WORKLOADS = ("compress", "xlisp")
+DESIGNS = ("T4", "T1", "I4", "PB1")
+
+
+def measure(max_instructions: int = 20_000, repeats: int = 3) -> dict:
+    """Time warm serial runs; returns the BENCH_simcore payload."""
+    from repro.eval.runner import RunRequest, simulate
+
+    requests = [
+        RunRequest.create(w, d, max_instructions=max_instructions)
+        for w in WORKLOADS
+        for d in DESIGNS
+    ]
+    for req in requests:  # warm trace/plan caches (not measured)
+        simulate(req)
+    runs = []
+    total_wall = 0.0
+    total_cycles = 0
+    total_committed = 0
+    for req in requests:
+        best_wall = float("inf")
+        stats = None
+        for _ in range(repeats):
+            start = perf_counter()
+            result = simulate(req)
+            wall = perf_counter() - start
+            if wall < best_wall:
+                best_wall = wall
+                stats = result.stats
+        runs.append(
+            {
+                "name": req.name,
+                "wall_s": round(best_wall, 4),
+                "sim_cycles": stats.cycles,
+                "committed": stats.committed,
+                "cycles_per_s": round(stats.cycles / best_wall),
+            }
+        )
+        total_wall += best_wall
+        total_cycles += stats.cycles
+        total_committed += stats.committed
+    return {
+        "schema": SCHEMA,
+        "settings": {
+            "workloads": list(WORKLOADS),
+            "designs": list(DESIGNS),
+            "max_instructions": max_instructions,
+            "repeats": repeats,
+            "measurement": "warm serial best-of-repeats per run",
+        },
+        "warm": {
+            "wall_s": round(total_wall, 4),
+            "sim_cycles": total_cycles,
+            "committed": total_committed,
+            "cycles_per_s": round(total_cycles / total_wall),
+            "insts_per_s": round(total_committed / total_wall),
+        },
+        "runs": runs,
+    }
+
+
+def _render(payload: dict) -> str:
+    warm = payload["warm"]
+    lines = [
+        "simulator core throughput (warm, serial)",
+        f"  total wall : {warm['wall_s']:.3f} s over {len(payload['runs'])} runs",
+        f"  throughput : {warm['cycles_per_s']:,} sim cycles/s"
+        f" ({warm['insts_per_s']:,} committed insts/s)",
+    ]
+    for run in payload["runs"]:
+        lines.append(
+            f"  {run['name']:<14s} {run['wall_s']:>7.3f} s"
+            f" {run['cycles_per_s']:>12,} cyc/s"
+        )
+    return "\n".join(lines)
+
+
+def check(payload: dict, threshold: float) -> int:
+    """Compare fresh warm throughput against the committed reference."""
+    committed = json.loads(BENCH_FILE.read_text())
+    ref = committed["warm"]["cycles_per_s"]
+    fresh = payload["warm"]["cycles_per_s"]
+    floor = (1.0 - threshold) * ref
+    verdict = "OK" if fresh >= floor else "REGRESSION"
+    print(
+        f"warm throughput: {fresh:,} cyc/s vs committed {ref:,} cyc/s"
+        f" (floor {floor:,.0f}, threshold {threshold:.0%}) -> {verdict}"
+    )
+    return 0 if fresh >= floor else 1
+
+
+# -- pytest entry points ------------------------------------------------------
+
+
+def test_simcore_speed(benchmark):
+    from conftest import archive, bench_insts
+
+    payload = benchmark.pedantic(
+        measure, kwargs={"max_instructions": bench_insts()}, rounds=1, iterations=1
+    )
+    archive("simcore_speed", _render(payload))
+    assert payload["warm"]["cycles_per_s"] > 0
+    assert all(run["sim_cycles"] > 0 for run in payload["runs"])
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write", action="store_true", help=f"refresh {BENCH_FILE.name}"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit 1 if warm throughput regressed vs {BENCH_FILE.name}",
+    )
+    parser.add_argument("--insts", type=int, default=None, help="instruction budget")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed fractional regression for --check (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+    import os
+
+    insts = args.insts or int(os.environ.get("REPRO_BENCH_INSTS", 20_000))
+    payload = measure(max_instructions=insts, repeats=args.repeats)
+    print(_render(payload))
+    if args.check:
+        return check(payload, args.threshold)
+    if args.write:
+        existing = (
+            json.loads(BENCH_FILE.read_text()) if BENCH_FILE.exists() else {}
+        )
+        if "baseline" in existing:  # preserve the recorded seed numbers
+            payload["baseline"] = existing["baseline"]
+            base_cps = existing["baseline"].get("cycles_per_s")
+            if base_cps:
+                payload["speedup_vs_baseline"] = round(
+                    payload["warm"]["cycles_per_s"] / base_cps, 2
+                )
+        BENCH_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {BENCH_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    raise SystemExit(main())

@@ -50,7 +50,12 @@ def _cmd_run(args) -> int:
         max_instructions=args.insts,
         **({"model_itlb": True} if args.itlb else {}),
     )
-    result = run_one(req)
+    profiler = None
+    if args.profile:
+        from repro.perf import SimProfiler
+
+        profiler = SimProfiler()
+    result = run_one(req, profiler=profiler)
     s = result.stats
     t = s.translation
     print(f"{args.workload} / {args.design}:")
@@ -67,6 +72,9 @@ def _cmd_run(args) -> int:
     print(f"  dcache miss rate    {100 * s.dcache.miss_rate:.2f}%")
     if args.itlb:
         print(f"  itlb misses         {s.itlb_misses}")
+    if profiler is not None:
+        print()
+        print(profiler.render())
     return 0
 
 
@@ -147,6 +155,11 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--regs", type=int, default=32)
     p_run.add_argument(
         "--itlb", action="store_true", help="model the instruction-side micro-TLB"
+    )
+    p_run.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a host-side per-phase wall-time profile of the run",
     )
 
     p_prof = sub.add_parser("profile", help="spatial locality profile")

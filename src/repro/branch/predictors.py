@@ -13,6 +13,8 @@ from __future__ import annotations
 class BranchPredictor:
     """Interface: predict a direction, then learn the outcome."""
 
+    __slots__ = ()
+
     def predict(self, pc: int) -> bool:
         """Return the predicted direction (True = taken)."""
         raise NotImplementedError
@@ -24,6 +26,8 @@ class BranchPredictor:
 
 class AlwaysTakenPredictor(BranchPredictor):
     """Degenerate baseline: predict taken."""
+
+    __slots__ = ()
 
     def predict(self, pc: int) -> bool:
         return True
@@ -38,6 +42,8 @@ class StaticBackwardTakenPredictor(BranchPredictor):
     The timing engine supplies the sign through :meth:`set_direction`
     before calling :meth:`predict`, keeping the interface uniform.
     """
+
+    __slots__ = ("_backward",)
 
     def __init__(self):
         self._backward = False
@@ -54,6 +60,8 @@ class StaticBackwardTakenPredictor(BranchPredictor):
 
 class BimodalPredictor(BranchPredictor):
     """Classic per-PC 2-bit saturating counter table."""
+
+    __slots__ = ("_mask", "_table")
 
     def __init__(self, entries: int = 2048):
         if entries <= 0 or entries & (entries - 1):
@@ -81,6 +89,8 @@ class GSharePredictor(BranchPredictor):
     this scale), included for the predictor ablation: it trades GAp's
     per-address columns for a larger effective pattern space.
     """
+
+    __slots__ = ("history_bits", "_history", "_history_mask", "_index_mask", "_table")
 
     def __init__(self, history_bits: int = 12, pht_entries: int = 4096):
         if pht_entries <= 0 or pht_entries & (pht_entries - 1):
@@ -112,6 +122,8 @@ class GSharePredictor(BranchPredictor):
 
 class TournamentPredictor(BranchPredictor):
     """McFarling-style tournament: bimodal vs gshare with a chooser."""
+
+    __slots__ = ("_bimodal", "_gshare", "_chooser", "_mask")
 
     def __init__(self, entries: int = 4096):
         self._bimodal = BimodalPredictor(entries)
@@ -152,6 +164,15 @@ class GApPredictor(BranchPredictor):
     front ends; here prediction and update happen at the same trace
     position, so updating at :meth:`update` is equivalent and simpler.
     """
+
+    __slots__ = (
+        "history_bits",
+        "_history_mask",
+        "_pc_bits",
+        "_pc_mask",
+        "_history",
+        "_table",
+    )
 
     def __init__(self, history_bits: int = 8, pht_entries: int = 4096):
         if history_bits <= 0:

@@ -49,6 +49,19 @@ class SetAssocCache:
         PRNG seed for random replacement.
     """
 
+    __slots__ = (
+        "size",
+        "assoc",
+        "block_size",
+        "block_shift",
+        "num_sets",
+        "set_mask",
+        "replacement",
+        "stats",
+        "_rng",
+        "_sets",
+    )
+
     def __init__(
         self,
         size: int = 32 * 1024,

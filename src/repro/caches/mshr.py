@@ -10,6 +10,9 @@ completes when the first one does.
 
 from __future__ import annotations
 
+#: Sentinel for "no pending completion" (compares above any real cycle).
+_NEVER = 1 << 62
+
 
 class MSHRFile:
     """Tracks outstanding cache-block fetches.
@@ -22,12 +25,17 @@ class MSHRFile:
         engine rarely hits this, but the limit is enforced.
     """
 
+    __slots__ = ("max_outstanding", "_pending", "_last_expired", "allocations", "merges")
+
     def __init__(self, max_outstanding: int = 64):
         if max_outstanding <= 0:
             raise ValueError(f"max_outstanding must be positive: {max_outstanding}")
         self.max_outstanding = max_outstanding
         #: Map block number -> cycle at which the fetch completes.
         self._pending: dict[int, int] = {}
+        #: Cycle expire() last ran at, so repeat calls within one cycle
+        #: (run loop + issue path) cost one dict lookup, not a scan.
+        self._last_expired = -1
         self.allocations = 0
         self.merges = 0
 
@@ -58,10 +66,27 @@ class MSHRFile:
         return len(self._pending) >= self.max_outstanding
 
     def expire(self, now: int) -> None:
-        """Retire completed fetches (call once per cycle or lazily)."""
-        done = [block for block, cycle in self._pending.items() if cycle <= now]
+        """Retire completed fetches (idempotent within a cycle)."""
+        if now <= self._last_expired or not self._pending:
+            self._last_expired = max(now, self._last_expired)
+            return
+        self._last_expired = now
+        pending = self._pending
+        done = [block for block, cycle in pending.items() if cycle <= now]
         for block in done:
-            del self._pending[block]
+            del pending[block]
+
+    def next_completion(self, now: int) -> int:
+        """Earliest in-flight fill completing after ``now`` (event hook).
+
+        Returns a sentinel far in the future when nothing is pending —
+        callers treat the value as "no event from the MSHRs".
+        """
+        best = _NEVER
+        for cycle in self._pending.values():
+            if now < cycle < best:
+                best = cycle
+        return best
 
     def outstanding(self) -> int:
         """Number of in-flight block fetches."""

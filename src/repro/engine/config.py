@@ -97,6 +97,14 @@ class MachineConfig:
     # forces — the workload trend the paper's introduction motivates.
     context_switch_interval: int = 0
 
+    # Event-driven cycle skipping: when no phase can do work before the
+    # next scheduled event (in-flight completion, MSHR fill, mechanism
+    # queue readiness, fetch resume, context-switch flush), the cycle
+    # loop jumps straight to that event instead of ticking.  Results are
+    # bit-identical either way (see docs/performance.md); the knob
+    # exists for A/B verification and the equivalence property test.
+    event_driven: bool = True
+
     # Integer divide occupies its unit for its full latency.
     int_div_latency: int = 12
     fp_div_latency: int = 12

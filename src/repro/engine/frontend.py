@@ -12,19 +12,59 @@ Direction mispredictions end the group and block the front end until the
 branch resolves plus the 3-cycle misprediction penalty.  Unconditional
 jumps and returns are assumed target-predicted (ideal BTB/RAS); see
 DESIGN.md §1.
+
+The front end's *observable* behavior is time-invariant: whether a
+probe attempt misses the I-cache or I-TLB, what the predictor says, and
+which instructions group together depend only on the instruction
+sequence and the front-end geometry — never on the cycle at which the
+attempt happens (stall cycles return before probing, and nothing
+outside fetch touches the I-cache, I-TLB, or predictor).  Fetch is
+therefore split in two: :func:`build_fetch_plan` runs the probe loop
+once and records the outcome stream as a :class:`FetchPlan`, and
+:class:`FrontEnd` replays that stream under the run-time stall rules.
+A plan built for one trace and front-end configuration can be shared
+across runs — the paper grids evaluate thirteen translation designs
+over the same workload, and twelve of them fetch for free (see
+:func:`repro.eval.runner.simulate`).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Iterator
+from typing import Iterable
 
-from repro.branch.predictors import BranchPredictor
+from repro.branch.predictors import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    BranchPredictor,
+    GApPredictor,
+    GSharePredictor,
+    TournamentPredictor,
+)
 from repro.caches.cache import SetAssocCache
 from repro.engine.config import MachineConfig
 from repro.engine.stats import MachineStats
 from repro.func.dyninst import DynInst
 from repro.tlb.storage import FullyAssocTLB
+
+#: FetchPlan event markers for the two kinds of missing probe attempt;
+#: every other event is a ``(FetchGroup, branches, jumps)`` tuple.
+_IMISS = 0
+_ITLB_MISS = 1
+
+
+def make_predictor(config: MachineConfig) -> BranchPredictor:
+    """Instantiate the configured direction predictor."""
+    if config.predictor == "gap":
+        return GApPredictor(
+            config.predictor_history_bits, config.predictor_pht_entries
+        )
+    if config.predictor == "gshare":
+        return GSharePredictor(pht_entries=config.predictor_pht_entries)
+    if config.predictor == "bimodal":
+        return BimodalPredictor(config.predictor_pht_entries)
+    if config.predictor == "tournament":
+        return TournamentPredictor(config.predictor_pht_entries)
+    return AlwaysTakenPredictor()
 
 
 class FetchGroup:
@@ -40,33 +80,143 @@ class FetchGroup:
         self.mispredicted_tail = mispredicted_tail
 
 
+class FetchPlan:
+    """The precomputed probe-attempt stream of one trace.
+
+    ``events`` holds, in order, the outcome of every fetch attempt that
+    reaches the probes: :data:`_IMISS` / :data:`_ITLB_MISS` markers for
+    attempts that stall on a fill, and ``(group, branches, jumps)``
+    tuples for attempts that deliver a group (``branches``/``jumps``
+    are that group's control-transfer counts, charged on delivery).
+    The replay consumes exactly one event per probe-reaching attempt,
+    so the stream encodes the retry behavior too: a miss event is
+    followed by the same block's hit attempt, just as the blocked
+    front end would retry it cycles later.
+    """
+
+    __slots__ = ("events", "icache_stats")
+
+    def __init__(self, events: list, icache_stats):
+        self.events = events
+        #: Final I-cache counters (:class:`~repro.caches.cache.CacheStats`)
+        #: — identical for every run that replays this plan.
+        self.icache_stats = icache_stats
+
+
+def build_fetch_plan(
+    trace: Iterable[DynInst],
+    config: MachineConfig,
+    predictor: BranchPredictor | None = None,
+    icache: SetAssocCache | None = None,
+) -> FetchPlan:
+    """Run the fetch probe loop over a whole trace, recording outcomes.
+
+    ``predictor`` and ``icache`` default to fresh instances built from
+    ``config``; passing them in lets a caller observe their final state
+    (the front-end unit tests do).
+    """
+    insts = trace if isinstance(trace, list) else list(trace)
+    if predictor is None:
+        predictor = make_predictor(config)
+    if icache is None:
+        icache = SetAssocCache(
+            config.icache_size, config.icache_assoc, config.icache_block
+        )
+    itlb = (
+        FullyAssocTLB(config.itlb_entries, replacement="lru")
+        if config.model_itlb
+        else None
+    )
+    page_shift = config.page_shift
+    shift = config.icache_block.bit_length() - 1
+    width = config.fetch_width
+    max_predictions = config.predictions_per_cycle
+    icache_access = icache.access
+    events: list = []
+    add_event = events.append
+    idx = 0
+    n = len(insts)
+    while idx < n:
+        first = insts[idx]
+        if itlb is not None:
+            vpn = first.pc >> page_shift
+            if not itlb.probe(vpn):
+                itlb.insert(vpn)
+                add_event(_ITLB_MISS)
+                # The blocked front end re-probes on its next attempt
+                # (an I-TLB hit now): loop without advancing.
+                continue
+        if not icache_access(first.pc):
+            add_event(_IMISS)
+            continue
+        block = first.pc >> shift
+        group: list[DynInst] = []
+        append = group.append
+        predictions = 0
+        count = 0
+        branches = 0
+        jumps = 0
+        mispredicted = False
+        while count < width and idx < n:
+            dyn = insts[idx]
+            if (dyn.pc >> shift) != block:
+                break
+            idx += 1
+            count += 1
+            append(dyn)
+            dec = dyn.decoded
+            if not dec.is_control:
+                continue
+            predictions += 1
+            if dec.is_branch:
+                branches += 1
+                predicted = predictor.predict(dyn.pc)
+                predictor.update(dyn.pc, dyn.taken)
+                if predicted != dyn.taken:
+                    mispredicted = True
+                    break
+            else:
+                jumps += 1
+            if dyn.taken:
+                # Taken transfer: only an intra-block target lets the
+                # collapsing buffer keep fetching this cycle.
+                if idx >= n or (insts[idx].pc >> shift) != block:
+                    break
+            if predictions >= max_predictions:
+                break
+        add_event((FetchGroup(group, mispredicted), branches, jumps))
+    return FetchPlan(events, icache.stats)
+
+
 class FrontEnd:
-    """Produces fetch groups from the dynamic instruction stream."""
+    """Replays a :class:`FetchPlan` under the run-time stall rules.
+
+    Stall handling (I-miss fills, misprediction blocking) is the only
+    time-dependent part of fetch and lives here; everything the probes
+    decided is read off the plan.  When no prebuilt ``plan`` is given,
+    one is built from ``trace`` using the caller's ``predictor`` and
+    ``icache`` — bit-identical to probing lazily, since only fetch
+    touches either.
+    """
 
     def __init__(
         self,
-        trace: Iterator[DynInst],
+        trace: Iterable[DynInst],
         config: MachineConfig,
         predictor: BranchPredictor,
         icache: SetAssocCache,
         stats: MachineStats,
+        plan: FetchPlan | None = None,
     ):
-        self._trace = trace
-        self._config = config
-        self._predictor = predictor
-        self._icache = icache
+        if plan is None:
+            plan = build_fetch_plan(trace, config, predictor, icache)
+        self.plan = plan
+        self._events = plan.events
+        self._n = len(plan.events)
+        self._ei = 0
         self._stats = stats
-        self._buffer: deque[DynInst] = deque()
-        self._trace_done = False
-        self._block_shift = config.icache_block.bit_length() - 1
-        # Optional instruction-side micro-TLB: a fetch block on an
-        # untranslated page stalls the front end for a walk.
-        self._itlb = (
-            FullyAssocTLB(config.itlb_entries, replacement="lru")
-            if config.model_itlb
-            else None
-        )
-        self._page_shift = config.page_shift
+        self._icache_miss_latency = config.icache_miss_latency
+        self._tlb_miss_latency = config.tlb_miss_latency
         #: Front end may not fetch again before this cycle (I-miss stall).
         self.blocked_until = 0
         #: Cycle at which fetch resumes after a mispredict (None = not
@@ -75,20 +225,11 @@ class FrontEnd:
         #: True while blocked on an unresolved mispredicted branch.
         self.waiting_on_branch = False
 
-    # -- trace buffering -------------------------------------------------------
-
-    def _ensure(self, count: int) -> bool:
-        """Buffer at least ``count`` instructions; False when exhausted."""
-        while len(self._buffer) < count and not self._trace_done:
-            try:
-                self._buffer.append(next(self._trace))
-            except StopIteration:
-                self._trace_done = True
-        return len(self._buffer) >= count
+    # -- plan cursor ----------------------------------------------------------
 
     def exhausted(self) -> bool:
         """True when no instructions remain to fetch."""
-        return not self._ensure(1)
+        return self._ei >= self._n
 
     # -- misprediction control ----------------------------------------------------
 
@@ -105,64 +246,35 @@ class FrontEnd:
 
     def fetch_group(self, now: int) -> FetchGroup | None:
         """Fetch this cycle's group, or ``None`` when stalled/empty."""
+        stats = self._stats
         if self.waiting_on_branch:
-            if self.resume_cycle is None or now < self.resume_cycle:
-                self._stats.frontend_stall_cycles += 1
+            resume = self.resume_cycle
+            if resume is None or now < resume:
+                stats.frontend_stall_cycles += 1
                 return None
             self.waiting_on_branch = False
             self.resume_cycle = None
         if now < self.blocked_until:
-            self._stats.frontend_stall_cycles += 1
+            stats.frontend_stall_cycles += 1
             return None
-        if not self._ensure(1):
+        ei = self._ei
+        if ei >= self._n:
             return None
-
-        first = self._buffer[0]
-        if self._itlb is not None:
-            vpn = first.pc >> self._page_shift
-            if not self._itlb.probe(vpn):
-                self._itlb.insert(vpn)
-                self._stats.itlb_misses += 1
-                self.blocked_until = now + self._config.tlb_miss_latency
-                self._stats.frontend_stall_cycles += 1
-                return None
-        hit = self._icache.access(first.pc)
-        if not hit:
-            self.blocked_until = now + self._config.icache_miss_latency
-            self._stats.frontend_stall_cycles += 1
-            return None
-
-        block = first.pc >> self._block_shift
-        group: list[DynInst] = []
-        predictions = 0
-        mispredicted = False
-        while len(group) < self._config.fetch_width and self._ensure(1):
-            dyn = self._buffer[0]
-            if (dyn.pc >> self._block_shift) != block:
-                break
-            self._buffer.popleft()
-            group.append(dyn)
-            dec = dyn.decoded
-            if not dec.is_control:
-                continue
-            predictions += 1
-            if dec.is_branch:
-                self._stats.branches += 1
-                predicted = self._predictor.predict(dyn.pc)
-                self._predictor.update(dyn.pc, dyn.taken)
-                if predicted != dyn.taken:
-                    self._stats.mispredicts += 1
-                    mispredicted = True
-                    break
+        ev = self._events[ei]
+        self._ei = ei + 1
+        if ev.__class__ is int:
+            if ev == _ITLB_MISS:
+                stats.itlb_misses += 1
+                self.blocked_until = now + self._tlb_miss_latency
             else:
-                self._stats.jumps += 1
-            if dyn.taken:
-                # Taken transfer: only an intra-block target lets the
-                # collapsing buffer keep fetching this cycle.
-                if not self._ensure(1):
-                    break
-                if (self._buffer[0].pc >> self._block_shift) != block:
-                    break
-            if predictions >= self._config.predictions_per_cycle:
-                break
-        return FetchGroup(group, mispredicted)
+                self.blocked_until = now + self._icache_miss_latency
+            stats.frontend_stall_cycles += 1
+            return None
+        group, branches, jumps = ev
+        if branches:
+            stats.branches += branches
+            if group.mispredicted_tail:
+                stats.mispredicts += 1
+        if jumps:
+            stats.jumps += jumps
+        return group

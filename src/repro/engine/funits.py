@@ -27,9 +27,14 @@ _UNIT_OF_CLASS = {
     OpClass.FPDIV: "fpmuldiv",
 }
 
+#: "No busy unit pending" sentinel for :meth:`~FunctionalUnitPool.next_busy_release`.
+_NEVER = 1 << 62
+
 
 class FunctionalUnitPool:
     """Tracks per-unit busy times and answers issue queries."""
+
+    __slots__ = ("_free_at", "_latency", "_interval", "_div_latency")
 
     def __init__(self, config: MachineConfig):
         self._free_at: dict[str, list[int]] = {
@@ -58,6 +63,41 @@ class FunctionalUnitPool:
         if op_class is OpClass.FPDIV:
             return self._div_latency["fpdiv"]
         return self._latency[_UNIT_OF_CLASS[op_class]]
+
+    def next_busy_release(self, now: int) -> int:
+        """Earliest cycle after ``now`` at which any busy unit frees up.
+
+        The event-driven engine uses this as the next structural-hazard
+        event; only the divide units (interval == latency) can actually
+        stay busy past the issue cycle, so the scan is short.
+        """
+        best = _NEVER
+        for free_at in self._free_at.values():
+            for cycle in free_at:
+                if now < cycle < best:
+                    best = cycle
+        return best
+
+    def class_map(self) -> dict[OpClass, tuple[list[int], int, int]]:
+        """Per-opclass ``(free_at, busy, latency)`` scheduling triples.
+
+        The ``free_at`` lists are the pool's *live* internal state (not
+        copies): a caller that finds ``free_at[i] <= now`` may occupy
+        the unit by writing ``free_at[i] = now + busy`` — exactly what
+        :meth:`issue` does, minus the per-call dict/enum lookups.  The
+        machine caches one triple per window entry at dispatch so the
+        issue loop's structural-hazard check is pure list traversal.
+        """
+        out: dict[OpClass, tuple[list[int], int, int]] = {}
+        for op_class, name in _UNIT_OF_CLASS.items():
+            if op_class is OpClass.IDIV:
+                busy = latency = self._div_latency["idiv"]
+            elif op_class is OpClass.FPDIV:
+                busy = latency = self._div_latency["fpdiv"]
+            else:
+                busy, latency = self._interval[name], self._latency[name]
+            out[op_class] = (self._free_at[name], busy, latency)
+        return out
 
     def can_issue(self, op_class: OpClass, now: int) -> bool:
         """True if a unit of the required class is free this cycle."""

@@ -44,15 +44,16 @@ class _TracingMachine(Machine):
         self._limit = limit
         self.timelines: dict[int, InstTimeline] = {}
 
-    def _dispatch(self, now: int) -> None:
+    def _dispatch(self, now: int) -> bool:
         before = {infl.seq for infl in self._window}
-        super()._dispatch(now)
+        did_work = super()._dispatch(now)
         for infl in self._window:
             if infl.seq in before or infl.seq >= self._limit:
                 continue
             self.timelines[infl.seq] = InstTimeline(
                 seq=infl.seq, text=str(infl.dyn.decoded.inst), dispatch=now
             )
+        return did_work
 
     def _do_issue(self, infl, now: int) -> None:
         super()._do_issue(infl, now)
@@ -60,9 +61,9 @@ class _TracingMachine(Machine):
         if timeline is not None:
             timeline.issue = now
 
-    def _commit(self, now: int) -> None:
+    def _commit(self, now: int) -> int:
         live_before = list(self._window)
-        super()._commit(now)
+        count = super()._commit(now)
         still = {infl.seq for infl in self._window}
         for infl in live_before:
             if infl.seq in still:
@@ -71,6 +72,7 @@ class _TracingMachine(Machine):
             if timeline is not None:
                 timeline.commit = now
                 timeline.complete = infl.complete if infl.complete is not None else now
+        return count
 
 
 @dataclass

@@ -81,6 +81,12 @@ def main(argv: list[str] | None = None) -> int:
         "~/.cache/repro/runstore)",
     )
     parser.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a host-side per-phase profile of the grid (forces "
+        "serial execution and fresh simulations)",
+    )
     args = parser.parse_args(argv)
 
     workloads = args.workloads.split(",") if args.workloads else None
@@ -89,6 +95,15 @@ def main(argv: list[str] | None = None) -> int:
     store = None
     if not args.no_cache and args.experiment != "figure6":
         store = ResultStore(args.store)
+    profiler = None
+    if args.profile:
+        if args.experiment in ("figure6", "scorecard"):
+            print(f"[--profile is not supported for {args.experiment}; ignoring]",
+                  file=sys.stderr)
+        else:
+            from repro.perf import SimProfiler
+
+            profiler = SimProfiler()
 
     started = time.time()
     if args.experiment == "scorecard":
@@ -110,6 +125,7 @@ def main(argv: list[str] | None = None) -> int:
                     max_instructions=args.insts,
                     jobs=jobs,
                     store=store,
+                    profiler=profiler,
                 )
             )
         )
@@ -127,11 +143,14 @@ def main(argv: list[str] | None = None) -> int:
             progress=progress,
             jobs=jobs,
             store=store,
+            profiler=profiler,
         )
         if designs is not None:
             kwargs["designs"] = designs
         result = run_figure(args.experiment, **kwargs)
         print(render_figure(result))
+    if profiler is not None:
+        print(f"\n{profiler.render()}", file=sys.stderr)
     print(f"\n[{args.experiment} regenerated in {time.time() - started:.1f}s]", file=sys.stderr)
     if store is not None:
         print(f"[result store: {store.stats.render()} | {store.root}]", file=sys.stderr)

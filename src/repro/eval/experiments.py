@@ -93,6 +93,7 @@ def run_figure(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     store=None,
+    profiler=None,
 ) -> FigureResult:
     """Run one relative-performance figure's full design x workload grid.
 
@@ -109,7 +110,9 @@ def run_figure(
         for workload in workload_list
         for design in design_list
     ]
-    grid = run_many(requests, jobs=jobs, store=store, progress=progress)
+    grid = run_many(
+        requests, jobs=jobs, store=store, progress=progress, profiler=profiler
+    )
     results: dict[str, dict[str, RunResult]] = {d: {} for d in design_list}
     for req, res in zip(requests, grid):
         results[req.design][req.workload] = res
@@ -147,13 +150,14 @@ def run_table3(
     scale: float = 1.0,
     jobs: int = 1,
     store=None,
+    profiler=None,
 ) -> list[Table3Row]:
     """Baseline (OOO, T4) per-program execution statistics."""
     spec = EXPERIMENTS["figure5"]
     names = list(workloads) if workloads is not None else list(iter_workload_names())
     requests = [spec.request(w, "T4", max_instructions, scale) for w in names]
     rows = []
-    for res in run_many(requests, jobs=jobs, store=store):
+    for res in run_many(requests, jobs=jobs, store=store, profiler=profiler):
         s = res.stats
         rows.append(
             Table3Row(

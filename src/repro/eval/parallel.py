@@ -45,6 +45,7 @@ def run_many(
     jobs: int | None = 1,
     store=None,
     progress: Callable[[str], None] | None = None,
+    profiler=None,
 ) -> list[RunResult]:
     """Run a batch of requests, parallel and memoized; results in order.
 
@@ -60,9 +61,16 @@ def run_many(
         skip simulation entirely; fresh results are persisted.
     progress:
         Optional callback receiving one line per finished/cached run.
+    profiler:
+        Optional :class:`repro.perf.SimProfiler` accumulated across the
+        whole batch.  Profiling forces the batch inline (timings cannot
+        cross process boundaries) and bypasses store reads (a cache hit
+        has no host time to measure); results are still persisted.
     """
     reqs = list(requests)
     results: list[RunResult | None] = [None] * len(reqs)
+    if profiler is not None:
+        jobs = 1
 
     # 1. Dedup identical requests and satisfy what we can from the store.
     receivers: dict[RunRequest, list[int]] = {}
@@ -74,7 +82,7 @@ def run_many(
         if req in cached:
             results[i] = cached[req]
             continue
-        if store is not None:
+        if store is not None and profiler is None:
             hit = store.get(req)
             if hit is not None:
                 results[i] = cached[req] = hit
@@ -103,7 +111,7 @@ def run_many(
     if jobs <= 1 or len(groups) <= 1:
         for group in groups.values():
             for req in group:
-                finish(req, simulate(req))
+                finish(req, simulate(req, profiler=profiler))
         return results  # type: ignore[return-value]
 
     # 3. One task per workload group; persist/report as each completes.

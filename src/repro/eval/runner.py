@@ -29,6 +29,7 @@ from typing import Any, Mapping
 
 from repro.caches.cache import CacheStats
 from repro.engine.config import MachineConfig
+from repro.engine.frontend import FetchPlan, build_fetch_plan
 from repro.engine.machine import Machine
 from repro.engine.stats import MachineStats
 from repro.func.executor import Executor
@@ -231,8 +232,10 @@ class _BuildCache:
 
     max_builds: int = 8
     max_traces: int = 4
+    max_plans: int = 4
     builds: OrderedDict = field(default_factory=OrderedDict)
     traces: OrderedDict = field(default_factory=OrderedDict)
+    plans: OrderedDict = field(default_factory=OrderedDict)
 
     def get(self, workload: str, int_regs: int, fp_regs: int, scale: float) -> WorkloadBuild:
         key = (workload, int_regs, fp_regs, scale)
@@ -277,6 +280,44 @@ class _BuildCache:
             self.traces.popitem(last=False)
         return trace
 
+    def get_fetch_plan(
+        self, req: "RunRequest", config: MachineConfig, trace: list
+    ) -> FetchPlan:
+        """Precomputed fetch stream, shared across designs.
+
+        Fetch behavior is time-invariant (see
+        :class:`repro.engine.frontend.FetchPlan`), so it depends only on
+        the trace and the front-end slice of the machine configuration —
+        the thirteen designs of a figure grid replay one plan.
+        """
+        key = (
+            req.workload,
+            req.int_regs,
+            req.fp_regs,
+            req.scale,
+            req.max_instructions,
+            config.icache_size,
+            config.icache_assoc,
+            config.icache_block,
+            config.predictor,
+            config.predictor_history_bits,
+            config.predictor_pht_entries,
+            config.fetch_width,
+            config.predictions_per_cycle,
+            config.model_itlb,
+            config.itlb_entries,
+            config.page_shift,
+        )
+        plan = self.plans.get(key)
+        if plan is not None:
+            self.plans.move_to_end(key)
+            return plan
+        plan = build_fetch_plan(trace, config)
+        self.plans[key] = plan
+        while len(self.plans) > self.max_plans:
+            self.plans.popitem(last=False)
+        return plan
+
 
 _CACHE = _BuildCache()
 
@@ -285,21 +326,31 @@ def clear_build_cache() -> None:
     """Drop cached workload builds and traces (frees their memory)."""
     _CACHE.builds.clear()
     _CACHE.traces.clear()
+    _CACHE.plans.clear()
 
 
-def simulate(req: RunRequest, mechanism: TranslationMechanism | None = None) -> RunResult:
+def simulate(
+    req: RunRequest,
+    mechanism: TranslationMechanism | None = None,
+    profiler=None,
+) -> RunResult:
     """Execute one timing run unconditionally (no result store).
 
     ``mechanism`` lets a caller supply a pre-built mechanism instance
     (the legacy callable-variant path of the ablation sweeps); such runs
     are still returned as RunResults but cannot be content-addressed.
+    ``profiler`` (a :class:`repro.perf.SimProfiler`) collects host-side
+    phase timings without affecting the simulated outcome.
     """
     trace = _CACHE.get_trace(
         req.workload, req.int_regs, req.fp_regs, req.scale, req.max_instructions
     )
     config = req.machine_config()
     mech = mechanism if mechanism is not None else req.make_mech(config.page_shift)
-    machine = Machine(config, mech, iter(trace), name=req.name)
+    plan = _CACHE.get_fetch_plan(req, config, trace)
+    machine = Machine(
+        config, mech, trace, name=req.name, profiler=profiler, fetch_plan=plan
+    )
     sim = machine.run()
     import repro
 
@@ -310,17 +361,19 @@ def simulate(req: RunRequest, mechanism: TranslationMechanism | None = None) -> 
     )
 
 
-def run_one(req: RunRequest, store=None) -> RunResult:
+def run_one(req: RunRequest, store=None, profiler=None) -> RunResult:
     """Execute one timing run, memoized through ``store`` when given.
 
     ``store`` is a :class:`repro.eval.resultstore.ResultStore` (or any
     object with ``get(req)``/``put(result)``); ``None`` always simulates.
+    A ``profiler`` forces a fresh simulation — a store hit would have no
+    host time to measure — but the result is still stored.
     """
-    if store is not None:
+    if store is not None and profiler is None:
         cached = store.get(req)
         if cached is not None:
             return cached
-    result = simulate(req)
+    result = simulate(req, profiler=profiler)
     if store is not None:
         store.put(result)
     return result

@@ -16,6 +16,11 @@ from __future__ import annotations
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Op, OpClass
 
+#: Dense integer index per OpClass member (declaration order).  Hot
+#: engine paths index per-class tables with it instead of hashing enum
+#: members (enum ``__hash__`` is a Python-level call).
+OPCLASS_INDEX: dict[OpClass, int] = {oc: i for i, oc in enumerate(OpClass)}
+
 
 class DecodedInst:
     """Immutable static decode of one program instruction."""
@@ -25,6 +30,7 @@ class DecodedInst:
         "inst",
         "op",
         "op_class",
+        "fu_index",
         "srcs",
         "addr_srcs",
         "data_srcs",
@@ -43,6 +49,7 @@ class DecodedInst:
         self.inst = inst
         self.op = inst.op
         self.op_class = op_class
+        self.fu_index = OPCLASS_INDEX[op_class]
         self.srcs = inst.sources()
         self.dests = inst.dests()
         self.is_load = inst.is_load()

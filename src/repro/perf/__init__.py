@@ -1,0 +1,8 @@
+"""Performance instrumentation for the simulator core.
+
+See :mod:`repro.perf.profiler` and docs/performance.md.
+"""
+
+from repro.perf.profiler import SimProfiler
+
+__all__ = ["SimProfiler"]

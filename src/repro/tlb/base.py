@@ -23,6 +23,11 @@ from __future__ import annotations
 from repro.tlb.request import TranslationRequest, TranslationResult
 from repro.tlb.stats import TranslationStats
 
+#: Sentinel returned by :meth:`TranslationMechanism.quiescent_until` when a
+#: mechanism has no pending work at all: "no event from this mechanism".
+#: Large enough to compare above any reachable cycle count.
+NEVER = 1 << 62
+
 
 class TranslationMechanism:
     """Abstract base for all Table 2 designs."""
@@ -61,6 +66,23 @@ class TranslationMechanism:
     def pending(self) -> int:
         """Number of requests still queued (for engine drain checks)."""
         raise NotImplementedError
+
+    def quiescent_until(self, now: int) -> int:
+        """Earliest cycle after ``now`` at which :meth:`tick` may act.
+
+        The event-driven engine calls this after ticking at ``now``; it
+        may skip straight to the returned cycle, never invoking ``tick``
+        in between.  The contract: for every cycle ``c`` with
+        ``now < c < quiescent_until(now)``, ``tick(c)`` would return no
+        results and leave the mechanism's state unchanged.  Return
+        :data:`NEVER` when the mechanism holds no pending work at all.
+
+        The default is maximally conservative — "tick me every cycle" —
+        so third-party mechanisms are correct without opting in.  The
+        port-arbitrated designs all override this via
+        :meth:`PortArbiter.quiescent_until`.
+        """
+        return now + 1
 
     def flush(self) -> None:
         """Invalidate all cached translations (context switch / VM change).
@@ -104,14 +126,30 @@ class PortArbiter:
 
     def grant(self, now: int) -> list[object]:
         """Pop up to ``ports`` eligible payloads in seq order."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             return []
+        if len(queue) == 1:
+            # The overwhelmingly common case on busy cycles.
+            if queue[0][0] <= now:
+                return [queue.pop()[2]]
+            return []
+        if self.ports == 1:
+            # Single port: pick the eligible min-seq item without sorting.
+            best = None
+            for item in queue:
+                if item[0] <= now and (best is None or item[1] < best[1]):
+                    best = item
+            if best is None:
+                return []
+            queue.remove(best)
+            return [best[2]]
         eligible = sorted(
-            (item for item in self._queue if item[0] <= now), key=lambda item: item[1]
+            (item for item in queue if item[0] <= now), key=lambda item: item[1]
         )
         granted = eligible[: self.ports]
         for item in granted:
-            self._queue.remove(item)
+            queue.remove(item)
         return [item[2] for item in granted]
 
     def peek_waiting(self, now: int) -> list[object]:
@@ -128,6 +166,19 @@ class PortArbiter:
                 self._queue.remove(item)
                 return
         raise ValueError("payload not queued")
+
+    def quiescent_until(self, now: int) -> int:
+        """Earliest cycle after ``now`` at which a grant could occur.
+
+        An empty queue yields :data:`NEVER`; leftover requests already
+        eligible (the queue over-subscribed the ports) force ``now + 1``;
+        otherwise the earliest future ``min_cycle`` is the next event.
+        """
+        queue = self._queue
+        if not queue:
+            return NEVER
+        earliest = min(item[0] for item in queue)
+        return earliest if earliest > now else now + 1
 
     def __len__(self) -> int:
         return len(self._queue)

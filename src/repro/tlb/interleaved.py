@@ -122,6 +122,9 @@ class InterleavedTLB(TranslationMechanism):
     def pending(self) -> int:
         return sum(len(a) for a in self._arbiters)
 
+    def quiescent_until(self, now: int) -> int:
+        return min(arbiter.quiescent_until(now) for arbiter in self._arbiters)
+
     def flush(self) -> None:
         for bank in self._banks:
             bank.flush()

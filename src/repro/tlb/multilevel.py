@@ -94,6 +94,9 @@ class MultiLevelTLB(TranslationMechanism):
     def pending(self) -> int:
         return len(self.arbiter)
 
+    def quiescent_until(self, now: int) -> int:
+        return self.arbiter.quiescent_until(now)
+
     def flush(self) -> None:
         self.l1.flush()
         self.l2.flush()

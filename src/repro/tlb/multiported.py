@@ -55,6 +55,9 @@ class MultiPortedTLB(TranslationMechanism):
     def pending(self) -> int:
         return len(self.arbiter)
 
+    def quiescent_until(self, now: int) -> int:
+        return self.arbiter.quiescent_until(now)
+
     def flush(self) -> None:
         self.tlb.flush()
 
@@ -81,3 +84,8 @@ class PerfectTLB(TranslationMechanism):
 
     def pending(self) -> int:
         return 0
+
+    def quiescent_until(self, now: int) -> int:
+        from repro.tlb.base import NEVER
+
+        return NEVER

@@ -99,5 +99,8 @@ class PiggybackTLB(TranslationMechanism):
     def pending(self) -> int:
         return len(self.arbiter)
 
+    def quiescent_until(self, now: int) -> int:
+        return self.arbiter.quiescent_until(now)
+
     def flush(self) -> None:
         self.tlb.flush()

@@ -202,6 +202,9 @@ class PretranslationMechanism(TranslationMechanism):
     def pending(self) -> int:
         return len(self.arbiter)
 
+    def quiescent_until(self, now: int) -> int:
+        return self.arbiter.quiescent_until(now)
+
     def flush(self) -> None:
         self.pcache.flush()
         self.base.flush()

@@ -140,6 +140,9 @@ class BranchAddressCache(TranslationMechanism):
     def pending(self) -> int:
         return len(self.arbiter)
 
+    def quiescent_until(self, now: int) -> int:
+        return self.arbiter.quiescent_until(now)
+
     def flush(self) -> None:
         self.cache.flush()
         self.base.flush()

@@ -1,0 +1,74 @@
+"""Property test: event-driven cycle skipping never changes results.
+
+The event-driven loop (``MachineConfig.event_driven``) must be a pure
+host-time optimization: every counter in MachineStats — including the
+nested cache/translation stats and the translation-demand histogram —
+must be bit-identical to the one-cycle-at-a-time loop on the *same*
+configuration.  This is exercised over randomly drawn (workload, design,
+issue model, context-switch interval, page size, I-TLB) points so the
+equivalence argument is continuously re-checked across the whole
+configuration space, not just the figure grids.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.engine.config import MachineConfig
+from repro.engine.machine import Machine
+from repro.eval.runner import RunRequest, _CACHE, simulate
+from repro.tlb.factory import DESIGN_MNEMONICS, make_mechanism
+from repro.workloads import iter_workload_names
+
+
+def _stats(req: RunRequest) -> dict:
+    return dataclasses.asdict(simulate(req).stats)
+
+
+def _random_points(seed: int, count: int):
+    rng = random.Random(seed)
+    workloads = list(iter_workload_names())
+    points = []
+    for _ in range(count):
+        options = {
+            "issue_model": rng.choice(["ooo", "inorder"]),
+            "max_instructions": rng.choice([4000, 8000]),
+            # 0 twice: context switches stay the exception, as in the grids.
+            "context_switch_interval": rng.choice([0, 0, 1500, 4000]),
+        }
+        if rng.random() < 0.3:
+            options["model_itlb"] = True
+        if rng.random() < 0.3:
+            options["page_size"] = 8192
+        points.append(
+            (rng.choice(workloads), rng.choice(list(DESIGN_MNEMONICS)), options)
+        )
+    return points
+
+
+@pytest.mark.parametrize("seed", [20260806, 42])
+def test_event_driven_matches_plain_loop(seed):
+    for workload, design, options in _random_points(seed, 4):
+        fast = RunRequest.create(workload, design, event_driven=True, **options)
+        slow = RunRequest.create(workload, design, event_driven=False, **options)
+        assert _stats(fast) == _stats(slow), f"{workload}/{design} {options}"
+
+
+def test_skipping_actually_engages():
+    """The fast path must trigger (otherwise the property test is vacuous)."""
+    trace = _CACHE.get_trace("compress", 32, 32, 1.0, 6000)
+    config = MachineConfig()
+    machine = Machine(config, make_mechanism("T1", config.page_shift), trace)
+    machine.run()
+    assert machine.skip_jumps > 0
+    assert machine.skipped_cycles > 0
+
+
+def test_plain_loop_never_skips():
+    trace = _CACHE.get_trace("compress", 32, 32, 1.0, 6000)
+    config = MachineConfig(event_driven=False)
+    machine = Machine(config, make_mechanism("T1", config.page_shift), trace)
+    machine.run()
+    assert machine.skip_jumps == 0
+    assert machine.skipped_cycles == 0
