@@ -3,19 +3,21 @@ Translation for Multiple-Issue Processors" (ISCA 1996).
 
 Quick start::
 
-    from repro import ResultStore, RunRequest, run_many, run_one
+    from repro import ArtifactStore, ResultStore, RunRequest, run_many, run_one
 
     result = run_one(RunRequest(workload="xlisp", design="M8"))
     print(result.ipc, result.stats.translation.shielded_fraction)
 
-    # A whole grid: sharded across 4 worker processes and memoized in
-    # the on-disk result store, so re-running it is pure cache hits.
+    # A whole grid: scheduled request-by-request across 4 worker
+    # processes (longest runs first), memoized in the on-disk result
+    # store, and sharing build artifacts (trace + fetch plan) through
+    # the on-disk artifact cache, so re-running it is pure cache hits.
     grid = [
         RunRequest(workload=w, design=d)
         for w in ("xlisp", "compress")
         for d in ("T4", "M8", "PB2")
     ]
-    results = run_many(grid, jobs=4, store=ResultStore())
+    results = run_many(grid, jobs=4, store=ResultStore(), artifacts=ArtifactStore())
     print({r.name: round(r.ipc, 3) for r in results})
 
 Packages
@@ -32,6 +34,7 @@ Packages
 """
 
 from repro.engine import Machine, MachineConfig, SimulationResult
+from repro.eval.artifacts import ArtifactStore
 from repro.eval.parallel import run_many
 from repro.eval.resultstore import ResultStore
 from repro.eval.runner import RunRequest, RunResult, run_one
@@ -41,6 +44,7 @@ from repro.workloads import iter_workload_names, make_workload
 __version__ = "1.1.0"
 
 __all__ = [
+    "ArtifactStore",
     "DESIGN_MNEMONICS",
     "Machine",
     "MachineConfig",

@@ -4,7 +4,7 @@ Usage::
 
     python -m repro list
     python -m repro run xlisp M8 [--insts N] [--inorder] [--pages 8192]
-                                 [--regs 8] [--itlb]
+                                 [--regs 8] [--itlb] [--artifacts [DIR]]
     python -m repro profile tfft [--insts N]
     python -m repro misscurve compress [--insts N]
     python -m repro demand espresso T4 [--insts N]
@@ -40,6 +40,14 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    if args.artifacts is not None:
+        # Attach the on-disk artifact cache: a repeated run of the same
+        # workload hydrates its program/trace/fetch plan instead of
+        # regenerating and re-executing them.
+        from repro.eval.artifacts import ArtifactStore
+        from repro.eval.runner import configure_artifacts
+
+        configure_artifacts(ArtifactStore(args.artifacts or None))
     req = RunRequest.create(
         args.workload,
         args.design,
@@ -160,6 +168,16 @@ def main(argv: list[str] | None = None) -> int:
         "--profile",
         action="store_true",
         help="print a host-side per-phase wall-time profile of the run",
+    )
+    p_run.add_argument(
+        "--artifacts",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="cache the workload's build artifacts (program/trace/fetch "
+        "plan) in DIR so repeated runs skip the functional execution "
+        "(no DIR: $REPRO_ARTIFACT_STORE or ~/.cache/repro/artifacts)",
     )
 
     p_prof = sub.add_parser("profile", help="spatial locality profile")

@@ -30,6 +30,7 @@ over the same workload, and twelve of them fetch for free (see
 
 from __future__ import annotations
 
+import struct
 from typing import Iterable
 
 from repro.branch.predictors import (
@@ -40,10 +41,11 @@ from repro.branch.predictors import (
     GSharePredictor,
     TournamentPredictor,
 )
-from repro.caches.cache import SetAssocCache
+from repro.caches.cache import CacheStats, SetAssocCache
 from repro.engine.config import MachineConfig
 from repro.engine.stats import MachineStats
 from repro.func.dyninst import DynInst
+from repro.func.tracefile import TraceFileError
 from repro.tlb.storage import FullyAssocTLB
 
 #: FetchPlan event markers for the two kinds of missing probe attempt;
@@ -186,6 +188,126 @@ def build_fetch_plan(
                 break
         add_event((FetchGroup(group, mispredicted), branches, jumps))
     return FetchPlan(events, icache.stats)
+
+
+#: The MachineConfig fields the fetch probes observe.  Two configs that
+#: agree on these produce identical fetch plans for the same trace, so
+#: this tuple is the sharing/caching key of the plan caches (the
+#: in-process LRU in :mod:`repro.eval.runner` and the on-disk
+#: :mod:`repro.eval.artifacts` store).
+FETCH_CONFIG_FIELDS: tuple[str, ...] = (
+    "icache_size",
+    "icache_assoc",
+    "icache_block",
+    "predictor",
+    "predictor_history_bits",
+    "predictor_pht_entries",
+    "fetch_width",
+    "predictions_per_cycle",
+    "model_itlb",
+    "itlb_entries",
+    "page_shift",
+)
+
+
+def fetch_config_key(config: MachineConfig) -> tuple:
+    """The front-end slice of ``config`` (JSON-serializable value tuple)."""
+    return tuple(getattr(config, name) for name in FETCH_CONFIG_FIELDS)
+
+
+# ---------------------------------------------------------------------------
+# FetchPlan (de)serialization.
+#
+# build_fetch_plan consumes the trace strictly in order: every group is a
+# non-empty *consecutive slice* of the trace, and the groups partition it
+# exactly.  A plan therefore serializes without repeating the instructions
+# — one fixed-size record per event (miss markers carry no payload, group
+# events carry their length and control-transfer summary) — and
+# deserializes by re-slicing the hydrated trace.  The payload travels in
+# the ``PLAN`` section of a :mod:`repro.func.tracefile` artifact container.
+# ---------------------------------------------------------------------------
+
+#: Plan payload preamble: event count, trace length, final I-cache
+#: counters (accesses, misses, writebacks).
+_PLAN_HEAD = struct.Struct("<QQQQQ")
+#: One event record: kind (0 = I-miss, 1 = I-TLB miss, 2 = group),
+#: instruction count, branch count, jump count, mispredicted-tail flag.
+_PLAN_EVENT = struct.Struct("<BHHHB")
+_KIND_GROUP = 2
+
+
+def encode_fetch_plan(plan: FetchPlan, trace_length: int) -> bytes:
+    """Serialize ``plan`` (built over a ``trace_length`` trace) to bytes."""
+    stats = plan.icache_stats
+    parts = [
+        _PLAN_HEAD.pack(
+            len(plan.events),
+            trace_length,
+            stats.accesses,
+            stats.misses,
+            stats.writebacks,
+        )
+    ]
+    pack = _PLAN_EVENT.pack
+    for event in plan.events:
+        if event.__class__ is int:
+            parts.append(pack(event, 0, 0, 0, 0))
+        else:
+            group, branches, jumps = event
+            parts.append(
+                pack(
+                    _KIND_GROUP,
+                    len(group.insts),
+                    branches,
+                    jumps,
+                    1 if group.mispredicted_tail else 0,
+                )
+            )
+    return b"".join(parts)
+
+
+def decode_fetch_plan(data: bytes, trace: list[DynInst]) -> FetchPlan:
+    """Rebuild a :class:`FetchPlan` from bytes, re-slicing ``trace``.
+
+    The plan must have been built over exactly this trace (same workload
+    build and instruction budget); the embedded trace length guards
+    obvious mismatches.
+    """
+    if len(data) < _PLAN_HEAD.size:
+        raise TraceFileError("truncated fetch-plan section")
+    n_events, trace_len, accesses, misses, writebacks = _PLAN_HEAD.unpack_from(data)
+    if trace_len != len(trace):
+        raise TraceFileError(
+            f"fetch plan was built over a {trace_len}-instruction trace; "
+            f"this one has {len(trace)}"
+        )
+    if len(data) - _PLAN_HEAD.size < n_events * _PLAN_EVENT.size:
+        raise TraceFileError("truncated fetch-plan event stream")
+    events: list = []
+    add_event = events.append
+    pos = 0
+    for kind, count, branches, jumps, mispredicted in _PLAN_EVENT.iter_unpack(
+        data[_PLAN_HEAD.size : _PLAN_HEAD.size + n_events * _PLAN_EVENT.size]
+    ):
+        if kind == _KIND_GROUP:
+            if count == 0 or pos + count > trace_len:
+                raise TraceFileError("fetch-plan group exceeds the trace")
+            add_event(
+                (FetchGroup(trace[pos : pos + count], bool(mispredicted)), branches, jumps)
+            )
+            pos += count
+        elif kind in (_IMISS, _ITLB_MISS):
+            add_event(kind)
+        else:
+            raise TraceFileError(f"unknown fetch-plan event kind {kind}")
+    if pos != trace_len:
+        raise TraceFileError(
+            f"fetch plan covers {pos} of {trace_len} trace instructions"
+        )
+    return FetchPlan(
+        events,
+        CacheStats(accesses=accesses, misses=misses, writebacks=writebacks),
+    )
 
 
 class FrontEnd:

@@ -2,10 +2,13 @@
 
 * :mod:`repro.eval.runner` — the canonical :class:`RunRequest` /
   :class:`RunResult` pair and single-run execution with build caching;
-* :mod:`repro.eval.parallel` — :func:`run_many`: grids sharded across
-  worker processes, grouped by workload;
+* :mod:`repro.eval.parallel` — :func:`run_many`: grids scheduled at
+  request granularity across worker processes, longest runs first;
 * :mod:`repro.eval.resultstore` — content-addressed on-disk memoization
   of finished runs (request hash + code fingerprint);
+* :mod:`repro.eval.artifacts` — content-addressed on-disk cache of the
+  design-independent build products (program, trace, fetch plan) that
+  worker processes hydrate instead of rebuilding;
 * :mod:`repro.eval.weighting` — run-time-weighted averaging (the paper's
   aggregation: IPCs weighted by each benchmark's T4 run time, normalized
   to T4);
@@ -28,6 +31,7 @@ from repro.eval.experiments import (
     run_figure,
     run_table3,
 )
+from repro.eval.artifacts import ArtifactStore
 from repro.eval.missrates import run_figure6
 from repro.eval.parallel import run_many
 from repro.eval.resultstore import ResultStore, code_fingerprint
@@ -35,6 +39,7 @@ from repro.eval.runner import RunRequest, RunResult, run_one, simulate
 from repro.eval.weighting import normalized_rtw_average
 
 __all__ = [
+    "ArtifactStore",
     "EXPERIMENTS",
     "ExperimentSpec",
     "ResultStore",

@@ -8,12 +8,16 @@ Usage::
     python -m repro.eval figure7|figure8|figure9 ...
     python -m repro.eval scorecard [--jobs 4]
 
-Timing grids shard across ``--jobs`` worker processes (grouped by
-workload) and memoize every run in the on-disk result store, so
-regenerating an unchanged figure is pure cache hits — rerun with
-``--no-cache`` to force fresh simulations.  The store honors
-``$REPRO_RESULT_STORE`` and ``--store DIR``; its hit/miss/stored
-counts are reported on stderr after each experiment.
+Timing grids fan out across ``--jobs`` worker processes (scheduled at
+request granularity, longest runs first) and memoize every run in the
+on-disk result store, so regenerating an unchanged figure is pure cache
+hits — rerun with ``--no-cache`` to force fresh simulations.  The store
+honors ``$REPRO_RESULT_STORE`` and ``--store DIR``; its hit/miss/stored
+counts are reported on stderr after each experiment.  ``--artifacts
+[DIR]`` additionally caches the design-independent build products
+(program, trace, fetch plan) on disk so worker processes — and later
+invocations — hydrate them instead of re-running the functional
+simulator (honors ``$REPRO_ARTIFACT_STORE``).
 """
 
 from __future__ import annotations
@@ -80,6 +84,16 @@ def main(argv: list[str] | None = None) -> int:
         help="result-store directory (default: $REPRO_RESULT_STORE or "
         "~/.cache/repro/runstore)",
     )
+    parser.add_argument(
+        "--artifacts",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="cache build artifacts (program/trace/fetch plan) in DIR so "
+        "workers hydrate instead of rebuilding (no DIR: "
+        "$REPRO_ARTIFACT_STORE or ~/.cache/repro/artifacts)",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress progress lines")
     parser.add_argument(
         "--profile",
@@ -95,6 +109,11 @@ def main(argv: list[str] | None = None) -> int:
     store = None
     if not args.no_cache and args.experiment != "figure6":
         store = ResultStore(args.store)
+    artifacts = None
+    if args.artifacts is not None and args.experiment != "figure6":
+        from repro.eval.artifacts import ArtifactStore
+
+        artifacts = ArtifactStore(args.artifacts or None)
     profiler = None
     if args.profile:
         if args.experiment in ("figure6", "scorecard"):
@@ -115,6 +134,7 @@ def main(argv: list[str] | None = None) -> int:
             progress=progress,
             jobs=jobs,
             store=store,
+            artifacts=artifacts,
         )
         print(result.render())
     elif args.experiment == "table3":
@@ -126,6 +146,7 @@ def main(argv: list[str] | None = None) -> int:
                     jobs=jobs,
                     store=store,
                     profiler=profiler,
+                    artifacts=artifacts,
                 )
             )
         )
@@ -144,6 +165,7 @@ def main(argv: list[str] | None = None) -> int:
             jobs=jobs,
             store=store,
             profiler=profiler,
+            artifacts=artifacts,
         )
         if designs is not None:
             kwargs["designs"] = designs
@@ -154,6 +176,8 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\n[{args.experiment} regenerated in {time.time() - started:.1f}s]", file=sys.stderr)
     if store is not None:
         print(f"[result store: {store.stats.render()} | {store.root}]", file=sys.stderr)
+    if artifacts is not None:
+        print(f"[artifact cache: {len(artifacts)} entries | {artifacts.root}]", file=sys.stderr)
     return 0
 
 

@@ -153,7 +153,12 @@ class ScorecardResult:
 
 
 def run_scorecard(
-    max_instructions: int = 20_000, workloads=None, progress=None, jobs: int = 1, store=None
+    max_instructions: int = 20_000,
+    workloads=None,
+    progress=None,
+    jobs: int = 1,
+    store=None,
+    artifacts=None,
 ) -> ScorecardResult:
     """Run the three figure grids and evaluate every claim."""
     grid = dict(
@@ -162,6 +167,7 @@ def run_scorecard(
         progress=progress,
         jobs=jobs,
         store=store,
+        artifacts=artifacts,
     )
     fig5 = run_figure("figure5", **grid)
     fig7 = run_figure("figure7", **grid)

@@ -94,13 +94,16 @@ def run_figure(
     jobs: int = 1,
     store=None,
     profiler=None,
+    artifacts=None,
 ) -> FigureResult:
     """Run one relative-performance figure's full design x workload grid.
 
     ``T4`` is always included (it is the normalization reference).  The
     grid is evaluated through :func:`repro.eval.parallel.run_many`:
-    ``jobs`` worker processes (sharded by workload) and an optional
-    result ``store`` that memoizes every run on disk.
+    ``jobs`` worker processes scheduled at request granularity, an
+    optional result ``store`` that memoizes every run on disk, and an
+    optional ``artifacts`` store that lets workers hydrate traces and
+    fetch plans instead of rebuilding them.
     """
     spec = EXPERIMENTS[key]
     design_list = list(dict.fromkeys(["T4", *designs]))
@@ -111,7 +114,12 @@ def run_figure(
         for design in design_list
     ]
     grid = run_many(
-        requests, jobs=jobs, store=store, progress=progress, profiler=profiler
+        requests,
+        jobs=jobs,
+        store=store,
+        progress=progress,
+        profiler=profiler,
+        artifacts=artifacts,
     )
     results: dict[str, dict[str, RunResult]] = {d: {} for d in design_list}
     for req, res in zip(requests, grid):
@@ -151,13 +159,16 @@ def run_table3(
     jobs: int = 1,
     store=None,
     profiler=None,
+    artifacts=None,
 ) -> list[Table3Row]:
     """Baseline (OOO, T4) per-program execution statistics."""
     spec = EXPERIMENTS["figure5"]
     names = list(workloads) if workloads is not None else list(iter_workload_names())
     requests = [spec.request(w, "T4", max_instructions, scale) for w in names]
     rows = []
-    for res in run_many(requests, jobs=jobs, store=store, profiler=profiler):
+    for res in run_many(
+        requests, jobs=jobs, store=store, profiler=profiler, artifacts=artifacts
+    ):
         s = res.stats
         rows.append(
             Table3Row(
@@ -185,6 +196,7 @@ def run_experiment(key: str, **kwargs):
         # or memoize, so the engine knobs do not apply.
         kwargs.pop("jobs", None)
         kwargs.pop("store", None)
+        kwargs.pop("artifacts", None)
         return run_figure6(**kwargs)
     if key in EXPERIMENTS:
         return run_figure(key, **kwargs)

@@ -7,37 +7,131 @@
 
 1. answering every request it can from the result store (if given);
 2. deduplicating identical requests (one simulation, many receivers);
-3. grouping the rest by workload build, so each worker process builds
-   and traces a workload once and replays it under every design —
-   the same sharing the in-process ``_BuildCache`` gives a serial grid;
-4. running the groups either inline (``jobs <= 1``) or on a
-   ``ProcessPoolExecutor`` with ``jobs`` workers.
+3. when an artifact store is given, making sure every needed build
+   artifact (program + trace + fetch plan, see
+   :mod:`repro.eval.artifacts`) exists on disk — missing ones are
+   captured in parallel, one task per workload build;
+4. dispatching the remaining requests at *request* granularity:
+   longest-estimated-first, in small single-build chunks, so ``jobs=N``
+   yields ~N-way occupancy even when the whole grid shares one workload
+   (the paper's 13-design grids) or is heavily skewed.
+
+Scheduling at request granularity is what the artifact cache buys:
+workers hydrate the design-independent work (trace capture, fetch-plan
+probing) from disk via their per-process
+:class:`~repro.eval.runner._BuildCache` instead of redoing it, so
+splitting a workload's designs across workers no longer multiplies the
+build cost.  Without an artifact store the same scheduling applies and
+each worker builds at most once per workload (chunks never mix builds).
 
 Simulations are deterministic (every RNG in the machine is seeded), so
 a parallel grid is bit-identical to a serial one — only wall-clock
-changes.  Worker processes never touch the store; the parent persists
-results as groups complete, which keeps store writes single-writer per
-invocation while remaining safe across concurrent invocations (writes
-are atomic).
+changes.  Worker processes never touch the result store; the parent
+persists results and reports ``progress`` per finished request as
+chunks complete, which keeps store writes single-writer per invocation
+while remaining safe across concurrent invocations (writes are atomic).
 """
 
 from __future__ import annotations
 
+import math
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Iterable
 
-from repro.eval.runner import RunRequest, RunResult, simulate
+from repro.engine.frontend import fetch_config_key
+from repro.eval.runner import (
+    RunRequest,
+    RunResult,
+    configure_artifacts,
+    simulate,
+)
+
+#: Largest number of requests bundled into one worker task.  Small
+#: chunks keep the tail balanced and progress fine-grained; the
+#: per-task cost they amortize (result pickling, queue round-trip) is
+#: tiny next to a simulation.
+_MAX_CHUNK = 4
+
+#: Task oversubscription factor: aim for about this many chunks per
+#: worker so early-finishing workers always find queued work.
+_CHUNKS_PER_JOB = 4
 
 
 def _build_key(req: RunRequest) -> tuple:
-    """Requests sharing this key share a workload build (and trace)."""
-    return (req.workload, req.int_regs, req.fp_regs, req.scale)
+    """Requests sharing this key share a workload build, trace, and
+    (per frontend config) fetch plan — the axes of the artifact cache."""
+    return (req.workload, req.int_regs, req.fp_regs, req.scale, req.max_instructions)
 
 
-def _run_group(reqs: list[RunRequest]) -> list[RunResult]:
-    """Worker entry point: simulate one workload's batch serially."""
+def _estimate(req: RunRequest) -> float:
+    """Relative host-cost estimate of one run (longest-first ordering).
+
+    The dominant cost driver is the dynamic instruction budget; the
+    issue model is a useful secondary signal (in-order runs drain the
+    window more slowly per instruction).
+    """
+    weight = 1.25 if req.issue_model == "inorder" else 1.0
+    return req.max_instructions * weight
+
+
+def _schedule_chunks(rest: list[RunRequest], jobs: int) -> list[list[RunRequest]]:
+    """Split ``rest`` into small, single-build, longest-first chunks.
+
+    Chunks never mix workload builds (a worker hydrates/builds once per
+    chunk), requests inside a build are ordered longest-estimate-first,
+    and the chunk list itself is ordered by descending estimated cost so
+    the pool starts the heaviest work first.  Deterministic for a given
+    input order.
+    """
+    if not rest:
+        return []
+    size = max(1, min(_MAX_CHUNK, math.ceil(len(rest) / (jobs * _CHUNKS_PER_JOB))))
+    groups: dict[tuple, list[RunRequest]] = {}
+    for req in rest:
+        groups.setdefault(_build_key(req), []).append(req)
+    chunks: list[list[RunRequest]] = []
+    for group in groups.values():
+        ordered = sorted(group, key=_estimate, reverse=True)
+        chunks.extend(ordered[i : i + size] for i in range(0, len(ordered), size))
+    chunks.sort(key=lambda chunk: sum(_estimate(r) for r in chunk), reverse=True)
+    return chunks
+
+
+# -- worker entry points ------------------------------------------------------
+
+
+def _init_worker(artifact_root: "str | None") -> None:
+    """Pool initializer: attach the shared on-disk artifact store."""
+    if artifact_root is not None:
+        from repro.eval.artifacts import ArtifactStore
+
+        configure_artifacts(ArtifactStore(artifact_root))
+
+
+def _capture_build(reps: list[RunRequest]) -> None:
+    """Capture one workload build's artifacts (trace + fetch plans).
+
+    ``reps`` holds one representative request per distinct frontend
+    configuration of a single build; materializing their traces/plans
+    through the worker's artifact-attached build cache persists every
+    missing artifact as a side effect.
+    """
+    from repro.eval.runner import _CACHE
+
+    for req in reps:
+        trace = _CACHE.get_trace(
+            req.workload, req.int_regs, req.fp_regs, req.scale, req.max_instructions
+        )
+        _CACHE.get_fetch_plan(req, req.machine_config(), trace)
+
+
+def _run_chunk(reqs: list[RunRequest]) -> list[RunResult]:
+    """Worker entry point: simulate one chunk serially."""
     return [simulate(r) for r in reqs]
+
+
+# -- driver -------------------------------------------------------------------
 
 
 def run_many(
@@ -46,6 +140,7 @@ def run_many(
     store=None,
     progress: Callable[[str], None] | None = None,
     profiler=None,
+    artifacts=None,
 ) -> list[RunResult]:
     """Run a batch of requests, parallel and memoized; results in order.
 
@@ -54,23 +149,36 @@ def run_many(
     jobs:
         Worker processes.  ``<= 1`` runs inline in this process (still
         grouped by workload for trace reuse); ``None`` means one per
-        CPU.  Parallelism is per workload group, so more jobs than
-        distinct workloads does not help.
+        CPU.  Scheduling is per *request*, so a single-workload grid
+        still fills all ``jobs`` workers.
     store:
         A :class:`repro.eval.resultstore.ResultStore` (or None).  Hits
         skip simulation entirely; fresh results are persisted.
     progress:
-        Optional callback receiving one line per finished/cached run.
+        Optional callback receiving one line per finished/cached run,
+        emitted as workers complete each request.
     profiler:
         Optional :class:`repro.perf.SimProfiler` accumulated across the
         whole batch.  Profiling forces the batch inline (timings cannot
         cross process boundaries) and bypasses store reads (a cache hit
         has no host time to measure); results are still persisted.
+    artifacts:
+        A :class:`repro.eval.artifacts.ArtifactStore`, a directory path
+        for one, or None.  When given, the parent first makes sure every
+        needed build artifact exists (capturing missing ones in
+        parallel, one task per build) and workers hydrate traces and
+        fetch plans from it instead of re-running the functional
+        simulator.
     """
     reqs = list(requests)
     results: list[RunResult | None] = [None] * len(reqs)
     if profiler is not None:
         jobs = 1
+    art = artifacts
+    if art is not None and not hasattr(art, "load_build"):
+        from repro.eval.artifacts import ArtifactStore
+
+        art = ArtifactStore(art)
 
     # 1. Dedup identical requests and satisfy what we can from the store.
     receivers: dict[RunRequest, list[int]] = {}
@@ -99,30 +207,61 @@ def run_many(
         if progress is not None:
             progress(f"{req.name}: done")
 
-    # 2. Shard the remainder into workload-build groups, in first-seen
-    # order (workload-major execution keeps the build LRU warm).
-    groups: dict[tuple, list[RunRequest]] = {}
-    for req in receivers:
-        groups.setdefault(_build_key(req), []).append(req)
-
+    rest = list(receivers)
     if jobs is None:
         jobs = os.cpu_count() or 1
 
-    if jobs <= 1 or len(groups) <= 1:
-        for group in groups.values():
-            for req in group:
-                finish(req, simulate(req, profiler=profiler))
+    # 2. Inline path: workload-major order keeps the build LRU warm.
+    if jobs <= 1 or len(rest) <= 1:
+        groups: dict[tuple, list[RunRequest]] = {}
+        for req in rest:
+            groups.setdefault(_build_key(req), []).append(req)
+        previous = configure_artifacts(art) if art is not None else None
+        try:
+            for group in groups.values():
+                for req in group:
+                    finish(req, simulate(req, profiler=profiler))
+        finally:
+            if art is not None:
+                configure_artifacts(previous)
         return results  # type: ignore[return-value]
 
-    # 3. One task per workload group; persist/report as each completes.
-    with ProcessPoolExecutor(max_workers=min(jobs, len(groups))) as pool:
-        pending = {
-            pool.submit(_run_group, group): group for group in groups.values()
-        }
+    # 3. Request-level scheduling: longest-estimated-first small chunks.
+    chunks = _schedule_chunks(rest, jobs)
+    root = str(art.root) if art is not None else None
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(chunks)),
+        initializer=_init_worker,
+        initargs=(root,),
+    ) as pool:
+        if art is not None:
+            # 3a. Make sure every build artifact exists before fanning
+            # the replays out: one capture task per missing build, each
+            # carrying one representative request per distinct frontend
+            # configuration (a build can need several fetch plans).
+            missing: dict[tuple, dict[tuple, RunRequest]] = {}
+            for req in rest:
+                axes = _build_key(req)
+                fkey = fetch_config_key(req.machine_config())
+                if not art.has_build(axes) or not art.has_plan(axes, fkey):
+                    missing.setdefault(axes, {}).setdefault(fkey, req)
+            if missing:
+                captures = {
+                    pool.submit(_capture_build, list(reps.values())): axes
+                    for axes, reps in missing.items()
+                }
+                for future in captures:
+                    future.result()
+                    if progress is not None:
+                        progress(f"{captures[future][0]}: artifacts captured")
+
+        # 3b. Replay: workers hydrate from the artifact cache (or build
+        # once per chunk) and the parent persists/report per request.
+        pending = {pool.submit(_run_chunk, chunk): chunk for chunk in chunks}
         while pending:
             done, _ = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
-                group = pending.pop(future)
-                for req, result in zip(group, future.result()):
+                chunk = pending.pop(future)
+                for req, result in zip(chunk, future.result()):
                     finish(req, result)
     return results  # type: ignore[return-value]

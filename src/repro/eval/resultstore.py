@@ -19,6 +19,12 @@ Layout (JSON, one file per run, two-hex-char shard directories)::
 ``<root>`` defaults to ``$REPRO_RESULT_STORE`` or
 ``~/.cache/repro/runstore``.  Writes are atomic (temp file + rename) so
 concurrent workers and concurrent CLI invocations can share a store.
+
+The sibling :mod:`repro.eval.artifacts` store applies the same keying
+discipline (content hash + :func:`code_fingerprint`) one layer down: it
+memoizes the design-independent *inputs* of a run (program, trace,
+fetch plan) rather than its outcome, so even store misses skip the
+functional re-execution.
 """
 
 from __future__ import annotations

@@ -29,10 +29,10 @@ from typing import Any, Mapping
 
 from repro.caches.cache import CacheStats
 from repro.engine.config import MachineConfig
-from repro.engine.frontend import FetchPlan, build_fetch_plan
+from repro.engine.frontend import FetchPlan, build_fetch_plan, fetch_config_key
 from repro.engine.machine import Machine
 from repro.engine.stats import MachineStats
-from repro.func.executor import Executor
+from repro.func.executor import capture_trace
 from repro.tlb.base import TranslationMechanism
 from repro.tlb.factory import make_mechanism, make_mechanism_from_spec
 from repro.tlb.stats import TranslationStats
@@ -228,6 +228,13 @@ class _BuildCache:
     materialized from it.  Grid drivers order their runs workload-major
     (see :func:`repro.eval.parallel.run_many`), so a small bound still
     gives every design of a workload a warm trace.
+
+    When an on-disk :class:`~repro.eval.artifacts.ArtifactStore` is
+    attached (:func:`configure_artifacts`), trace and fetch-plan misses
+    first try to *hydrate* from it — a cheap deserialize instead of a
+    full functional re-execution — and anything built fresh is written
+    back, so worker processes of a parallel grid capture each workload
+    once and replay it everywhere.
     """
 
     max_builds: int = 8
@@ -236,6 +243,9 @@ class _BuildCache:
     builds: OrderedDict = field(default_factory=OrderedDict)
     traces: OrderedDict = field(default_factory=OrderedDict)
     plans: OrderedDict = field(default_factory=OrderedDict)
+    #: Optional repro.eval.artifacts.ArtifactStore (duck-typed to avoid
+    #: an import cycle: resultstore imports this module).
+    artifacts: Any = None
 
     def get(self, workload: str, int_regs: int, fp_regs: int, scale: float) -> WorkloadBuild:
         key = (workload, int_regs, fp_regs, scale)
@@ -272,9 +282,20 @@ class _BuildCache:
         if trace is not None:
             self.traces.move_to_end(key)
             return trace
+        if self.artifacts is not None:
+            hydrated = self.artifacts.load_build(key)
+            if hydrated is not None:
+                _, trace = hydrated
+                self.traces[key] = trace
+                while len(self.traces) > self.max_traces:
+                    self.traces.popitem(last=False)
+                return trace
         build = self.get(workload, int_regs, fp_regs, scale)
-        executor = Executor(build.program, build.memory.clone())
-        trace = list(executor.run(max_instructions=max_instructions))
+        trace = capture_trace(
+            build.program, build.memory.clone(), max_instructions=max_instructions
+        )
+        if self.artifacts is not None:
+            self.artifacts.save_build(key, build.program, trace)
         self.traces[key] = trace
         while len(self.traces) > self.max_traces:
             self.traces.popitem(last=False)
@@ -290,29 +311,26 @@ class _BuildCache:
         the trace and the front-end slice of the machine configuration —
         the thirteen designs of a figure grid replay one plan.
         """
-        key = (
+        axes = (
             req.workload,
             req.int_regs,
             req.fp_regs,
             req.scale,
             req.max_instructions,
-            config.icache_size,
-            config.icache_assoc,
-            config.icache_block,
-            config.predictor,
-            config.predictor_history_bits,
-            config.predictor_pht_entries,
-            config.fetch_width,
-            config.predictions_per_cycle,
-            config.model_itlb,
-            config.itlb_entries,
-            config.page_shift,
         )
+        fetch_key = fetch_config_key(config)
+        key = axes + fetch_key
         plan = self.plans.get(key)
         if plan is not None:
             self.plans.move_to_end(key)
             return plan
-        plan = build_fetch_plan(trace, config)
+        plan = None
+        if self.artifacts is not None:
+            plan = self.artifacts.load_plan(axes, fetch_key, trace)
+        if plan is None:
+            plan = build_fetch_plan(trace, config)
+            if self.artifacts is not None:
+                self.artifacts.save_plan(axes, fetch_key, plan)
         self.plans[key] = plan
         while len(self.plans) > self.max_plans:
             self.plans.popitem(last=False)
@@ -327,6 +345,22 @@ def clear_build_cache() -> None:
     _CACHE.builds.clear()
     _CACHE.traces.clear()
     _CACHE.plans.clear()
+
+
+def configure_artifacts(store) -> Any:
+    """Attach an on-disk artifact store to this process's build cache.
+
+    ``store`` is a :class:`repro.eval.artifacts.ArtifactStore` (or any
+    object with ``load_build``/``save_build``/``load_plan``/``save_plan``),
+    or ``None`` to detach.  Returns the previously attached store so
+    callers can scope the attachment (``prev = configure_artifacts(s)``
+    ... ``configure_artifacts(prev)``).  Worker processes of
+    :func:`repro.eval.parallel.run_many` call this on startup so every
+    trace/plan miss hydrates from disk before falling back to building.
+    """
+    previous = _CACHE.artifacts
+    _CACHE.artifacts = store
+    return previous
 
 
 def simulate(

@@ -67,6 +67,7 @@ def run_variants(
     per_variant_config: dict[str, dict] | None = None,
     jobs: int = 1,
     store=None,
+    artifacts=None,
 ) -> SweepResult:
     """Run each variant over the workloads; normalize to the first.
 
@@ -105,7 +106,7 @@ def run_variants(
             )
             owners.append((label, workload))
     for (label, workload), res in zip(
-        owners, run_many(requests, jobs=jobs, store=store)
+        owners, run_many(requests, jobs=jobs, store=store, artifacts=artifacts)
     ):
         results[label][workload] = res
     reference_label = variants[0][0]

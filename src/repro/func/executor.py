@@ -329,6 +329,21 @@ _HANDLERS: dict[Op, Callable] = {
 }
 
 
+def capture_trace(
+    program: Program,
+    memory: SparseMemory | None = None,
+    max_instructions: int | None = None,
+) -> list[DynInst]:
+    """Run a program functionally and materialize its dynamic trace.
+
+    This is the capture half of trace capture/replay: the returned list
+    is what the timing engine replays, what :func:`repro.func.tracefile.
+    save_trace` persists, and what the artifact cache
+    (:mod:`repro.eval.artifacts`) hydrates instead of re-executing.
+    """
+    return list(Executor(program, memory).run(max_instructions=max_instructions))
+
+
 def run_program(
     program: Program,
     memory: SparseMemory | None = None,

@@ -1,41 +1,182 @@
-"""Binary trace files: save a dynamic instruction stream, replay it later.
+"""Binary build-artifact files: programs, traces, and fetch plans on disk.
 
 Long functional executions can be captured once and replayed under many
 translation designs or machine configurations (including on machines
-without the workload's generator).  The format is a compact
-little-endian record stream:
+without the workload's generator).  Version 2 generalizes the original
+bare-trace format into a small sectioned *artifact container* so the
+same file family also carries the generated program and precomputed
+fetch plans — everything :mod:`repro.eval.artifacts` needs to hydrate a
+workload build without re-running the functional simulator:
 
-* header: magic ``RPTR``, version, record count, program length;
-* one 28-byte record per dynamic instruction:
-  ``seq, static index, pc, ea (+1, 0 = none), taken, next_index``.
+* header: magic ``RPTR``, version, section count;
+* one section per artifact kind, each ``(4-byte tag, u64 length,
+  payload)``:
 
-Replaying requires the *same program* (the static decode is
-reconstructed from it); a program-length check guards obvious
-mismatches.
+  - ``PROG`` — the static program as canonical JSON (instructions,
+    labels, name, code base), enough to rebuild the decode stream;
+  - ``TRCE`` — the dynamic instruction stream, one 28-byte record per
+    retired instruction: ``seq, static index, pc, ea (+1, 0 = none),
+    taken, next_index``;
+  - ``PLAN`` — a precomputed fetch-plan event stream (see
+    :func:`repro.engine.frontend.encode_fetch_plan`, which owns the
+    payload layout).
+
+Version-1 files (bare header + records, no sections) are rejected with
+a clear :class:`TraceFileError`; re-capture them with
+:func:`save_trace`.  Replaying a ``TRCE`` section requires the *same
+program* (the static decode is reconstructed from it); a program-length
+check guards obvious mismatches, and containers written by
+:func:`save_trace` embed the program so nothing else is needed.
 """
 
 from __future__ import annotations
 
+import json
 import struct
 from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.func.dyninst import DecodedInst, DynInst
-from repro.isa.opcodes import op_class
+from repro.isa.instructions import AddrMode, Instruction
+from repro.isa.opcodes import Op, op_class
 from repro.isa.program import Program
 
 _MAGIC = b"RPTR"
-_VERSION = 1
+_VERSION = 2
+#: Container header: magic, version, section count (+ reserved word).
 _HEADER = struct.Struct("<4sHxxQQ")
+#: Section header: 4-byte tag + payload length.
+_SECTION = struct.Struct("<4sQ")
+#: One dynamic instruction record.
 _RECORD = struct.Struct("<QIIIHH")
+#: Trace-section preamble: record count + program length.
+_TRACE_HEAD = struct.Struct("<QQ")
+
+SECTION_PROGRAM = b"PROG"
+SECTION_TRACE = b"TRCE"
+SECTION_PLAN = b"PLAN"
+
+#: Stable order for AddrMode serialization (enum declaration order).
+_ADDR_MODES = tuple(AddrMode)
+_ADDR_MODE_INDEX = {mode: i for i, mode in enumerate(_ADDR_MODES)}
 
 
 class TraceFileError(ValueError):
-    """Raised for malformed or mismatched trace files."""
+    """Raised for malformed, mismatched, or wrong-version artifact files."""
 
 
-def save_trace(path: "str | Path", program: Program, trace: Iterable[DynInst]) -> int:
-    """Write ``trace`` to ``path``; returns the number of records."""
+# ---------------------------------------------------------------------------
+# Container layer.
+# ---------------------------------------------------------------------------
+
+
+def write_container(path: "str | Path", sections: dict[bytes, bytes]) -> None:
+    """Write a version-2 artifact container holding ``sections``."""
+    with open(path, "wb") as handle:
+        handle.write(_HEADER.pack(_MAGIC, _VERSION, len(sections), 0))
+        for tag, payload in sections.items():
+            if len(tag) != 4:
+                raise TraceFileError(f"section tag must be 4 bytes: {tag!r}")
+            handle.write(_SECTION.pack(tag, len(payload)))
+            handle.write(payload)
+
+
+def read_container(path: "str | Path") -> dict[bytes, bytes]:
+    """Read a version-2 container back as a ``{tag: payload}`` mapping."""
+    with open(path, "rb") as handle:
+        header = handle.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise TraceFileError("truncated header")
+        magic, version, count, _ = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise TraceFileError(f"bad magic: {magic!r}")
+        if version == 1:
+            raise TraceFileError(
+                "version-1 trace files are no longer supported (the format "
+                "gained program/fetch-plan sections in version 2); re-capture "
+                "the trace with save_trace()"
+            )
+        if version != _VERSION:
+            raise TraceFileError(f"unsupported version: {version}")
+        sections: dict[bytes, bytes] = {}
+        for _ in range(count):
+            raw = handle.read(_SECTION.size)
+            if len(raw) < _SECTION.size:
+                raise TraceFileError("truncated section header")
+            tag, length = _SECTION.unpack(raw)
+            payload = handle.read(length)
+            if len(payload) < length:
+                raise TraceFileError(f"truncated {tag!r} section")
+            sections[tag] = payload
+    return sections
+
+
+# ---------------------------------------------------------------------------
+# Program codec (canonical JSON payload).
+# ---------------------------------------------------------------------------
+
+
+def encode_program(program: Program) -> bytes:
+    """Serialize a resolved program to a ``PROG`` section payload."""
+    insts = []
+    for inst in program:
+        if isinstance(inst.target, str):
+            raise TraceFileError(
+                f"cannot serialize unresolved label target {inst.target!r}"
+            )
+        insts.append(
+            [
+                int(inst.op),
+                inst.rd,
+                inst.rs1,
+                inst.rs2,
+                inst.imm,
+                _ADDR_MODE_INDEX[inst.mode],
+                inst.target,
+            ]
+        )
+    payload = {
+        "name": program.name,
+        "code_base": program.code_base,
+        "labels": program.labels,
+        "instructions": insts,
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def decode_program(data: bytes) -> Program:
+    """Rebuild a :class:`Program` from a ``PROG`` section payload."""
+    try:
+        payload = json.loads(data)
+        instructions = [
+            Instruction(
+                Op(op),
+                rd=rd,
+                rs1=rs1,
+                rs2=rs2,
+                imm=imm,
+                mode=_ADDR_MODES[mode],
+                target=target,
+            )
+            for op, rd, rs1, rs2, imm, mode, target in payload["instructions"]
+        ]
+        return Program(
+            instructions,
+            labels=payload["labels"],
+            name=payload["name"],
+            code_base=payload["code_base"],
+        )
+    except (ValueError, KeyError, TypeError, IndexError) as exc:
+        raise TraceFileError(f"malformed program section: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Trace codec (binary record stream).
+# ---------------------------------------------------------------------------
+
+
+def encode_trace(trace: Iterable[DynInst], program_length: int) -> bytes:
+    """Serialize a dynamic instruction stream to a ``TRCE`` payload."""
     records = []
     for dyn in trace:
         ea = 0 if dyn.ea is None else dyn.ea + 1
@@ -53,40 +194,35 @@ def save_trace(path: "str | Path", program: Program, trace: Iterable[DynInst]) -
                 dyn.next_index,
             )
         )
-    with open(path, "wb") as handle:
-        handle.write(_HEADER.pack(_MAGIC, _VERSION, len(records), len(program)))
-        for record in records:
-            handle.write(record)
-    return len(records)
+    return _TRACE_HEAD.pack(len(records), program_length) + b"".join(records)
 
 
-def load_trace(path: "str | Path", program: Program) -> Iterator[DynInst]:
-    """Replay a trace saved by :func:`save_trace` against ``program``."""
+def decode_trace(data: bytes, program: Program) -> list[DynInst]:
+    """Rebuild the dynamic stream from a ``TRCE`` payload and its program."""
+    if len(data) < _TRACE_HEAD.size:
+        raise TraceFileError("truncated trace section")
+    count, prog_len = _TRACE_HEAD.unpack_from(data)
+    if prog_len != len(program):
+        raise TraceFileError(
+            f"trace was recorded against a {prog_len}-instruction "
+            f"program; this one has {len(program)}"
+        )
+    if len(data) - _TRACE_HEAD.size < count * _RECORD.size:
+        raise TraceFileError("truncated record stream")
     decode = [
         DecodedInst(i, inst, op_class(inst.op)) for i, inst in enumerate(program)
     ]
-    with open(path, "rb") as handle:
-        header = handle.read(_HEADER.size)
-        if len(header) < _HEADER.size:
-            raise TraceFileError("truncated header")
-        magic, version, count, prog_len = _HEADER.unpack(header)
-        if magic != _MAGIC:
-            raise TraceFileError(f"bad magic: {magic!r}")
-        if version != _VERSION:
-            raise TraceFileError(f"unsupported version: {version}")
-        if prog_len != len(program):
-            raise TraceFileError(
-                f"trace was recorded against a {prog_len}-instruction "
-                f"program; this one has {len(program)}"
-            )
-        for _ in range(count):
-            raw = handle.read(_RECORD.size)
-            if len(raw) < _RECORD.size:
-                raise TraceFileError("truncated record stream")
-            seq, index, pc, ea, taken, next_index = _RECORD.unpack(raw)
-            if index >= len(decode):
-                raise TraceFileError(f"record references instruction {index}")
-            yield DynInst(
+    n_static = len(decode)
+    out: list[DynInst] = []
+    append = out.append
+    offset = _TRACE_HEAD.size
+    for seq, index, pc, ea, taken, next_index in _RECORD.iter_unpack(
+        data[offset : offset + count * _RECORD.size]
+    ):
+        if index >= n_static:
+            raise TraceFileError(f"record references instruction {index}")
+        append(
+            DynInst(
                 seq,
                 decode[index],
                 pc,
@@ -94,3 +230,44 @@ def load_trace(path: "str | Path", program: Program) -> Iterator[DynInst]:
                 taken=bool(taken),
                 next_index=next_index,
             )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Whole-file convenience API (compatible with the version-1 entry points).
+# ---------------------------------------------------------------------------
+
+
+def save_trace(path: "str | Path", program: Program, trace: Iterable[DynInst]) -> int:
+    """Write ``trace`` (and its ``program``) to ``path``; returns the record count.
+
+    The container embeds the program, so the file is self-describing;
+    :func:`load_trace` still accepts the program separately to guard
+    against replaying a trace under the wrong build.
+    """
+    trace_payload = encode_trace(trace, len(program))
+    write_container(
+        path,
+        {
+            SECTION_PROGRAM: encode_program(program),
+            SECTION_TRACE: trace_payload,
+        },
+    )
+    return _TRACE_HEAD.unpack_from(trace_payload)[0]
+
+
+def load_trace(path: "str | Path", program: Program) -> Iterator[DynInst]:
+    """Replay a trace saved by :func:`save_trace` against ``program``."""
+    sections = read_container(path)
+    if SECTION_TRACE not in sections:
+        raise TraceFileError("container has no trace section")
+    yield from decode_trace(sections[SECTION_TRACE], program)
+
+
+def load_program(path: "str | Path") -> Program:
+    """Read the embedded program of an artifact container."""
+    sections = read_container(path)
+    if SECTION_PROGRAM not in sections:
+        raise TraceFileError("container has no program section")
+    return decode_program(sections[SECTION_PROGRAM])

@@ -1,0 +1,190 @@
+"""Tests for the on-disk artifact cache and request-level scheduling."""
+
+import pytest
+
+from repro.engine.frontend import build_fetch_plan, fetch_config_key
+from repro.eval.artifacts import ArtifactStore
+from repro.eval.parallel import _build_key, _schedule_chunks, run_many
+from repro.eval.runner import (
+    RunRequest,
+    _BuildCache,
+    configure_artifacts,
+    simulate,
+)
+from repro.func.executor import capture_trace
+from repro.workloads import make_workload
+
+FAST = dict(max_instructions=2_000)
+AXES = ("espresso", 32, 32, 1.0, 2_000)
+
+
+def _fresh_build_and_trace():
+    build = make_workload("espresso").build()
+    trace = capture_trace(build.program, build.memory.clone(), 2_000)
+    return build, trace
+
+
+class TestArtifactStore:
+    def test_build_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        build, trace = _fresh_build_and_trace()
+        assert not store.has_build(AXES)
+        assert store.load_build(AXES) is None
+        store.save_build(AXES, build.program, trace)
+        assert store.has_build(AXES)
+        program, hydrated = store.load_build(AXES)
+        assert len(program) == len(build.program)
+        assert [(d.seq, d.pc, d.ea, d.taken) for d in hydrated] == [
+            (d.seq, d.pc, d.ea, d.taken) for d in trace
+        ]
+        assert store.stats.hits == 1 and store.stats.misses == 1
+        assert store.stats.puts == 1
+        assert len(store) == 1
+
+    def test_plan_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        _, trace = _fresh_build_and_trace()
+        req = RunRequest(workload="espresso", design="T4", **FAST)
+        config = req.machine_config()
+        fkey = fetch_config_key(config)
+        assert store.load_plan(AXES, fkey, trace) is None
+        plan = build_fetch_plan(trace, config)
+        store.save_plan(AXES, fkey, plan)
+        hydrated = store.load_plan(AXES, fkey, trace)
+        assert hydrated is not None
+        assert len(hydrated.events) == len(plan.events)
+        assert hydrated.icache_stats == plan.icache_stats
+
+    def test_fingerprint_change_invalidates(self, tmp_path):
+        build, trace = _fresh_build_and_trace()
+        ArtifactStore(tmp_path, fingerprint="aaaa").save_build(
+            AXES, build.program, trace
+        )
+        assert ArtifactStore(tmp_path, fingerprint="bbbb").load_build(AXES) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        build, trace = _fresh_build_and_trace()
+        path = store.save_build(AXES, build.program, trace)
+        path.write_bytes(b"garbage")
+        assert store.load_build(AXES) is None
+
+    def test_clear(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        build, trace = _fresh_build_and_trace()
+        store.save_build(AXES, build.program, trace)
+        assert store.clear() == 1
+        assert len(store) == 0
+
+
+class TestBuildCacheHydration:
+    def test_cache_hydrates_before_building(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        warm = _BuildCache(artifacts=store)
+        trace = warm.get_trace(*AXES)
+        assert store.stats.puts >= 1  # written through on build
+
+        # A fresh cache (fresh process stand-in) must hydrate, not build.
+        cold = _BuildCache(artifacts=store)
+        hydrated = cold.get_trace(*AXES)
+        assert not cold.builds, "hydration must not invoke the workload builder"
+        assert [(d.pc, d.ea) for d in hydrated] == [(d.pc, d.ea) for d in trace]
+
+    def test_hydrated_simulation_bit_identical(self, tmp_path):
+        req = RunRequest(workload="espresso", design="M8", **FAST)
+        baseline = simulate(req)
+
+        store = ArtifactStore(tmp_path)
+        previous = configure_artifacts(store)
+        try:
+            simulate(req)  # writes artifacts through the global cache
+        finally:
+            configure_artifacts(previous)
+
+        from repro.eval.runner import clear_build_cache
+
+        clear_build_cache()
+        previous = configure_artifacts(ArtifactStore(tmp_path))
+        try:
+            hydrated = simulate(req)
+        finally:
+            configure_artifacts(previous)
+            clear_build_cache()
+        assert hydrated.to_dict()["stats"] == baseline.to_dict()["stats"]
+
+
+class TestRequestLevelScheduling:
+    def test_single_build_grid_still_splits(self):
+        grid = [
+            RunRequest(workload="espresso", design=d, **FAST)
+            for d in ("T4", "T2", "T1", "M8", "I4", "PB1")
+        ]
+        chunks = _schedule_chunks(grid, jobs=4)
+        assert len(chunks) > 1, "a one-workload grid must not collapse to one task"
+        assert sorted(r.design for c in chunks for r in c) == sorted(
+            r.design for r in grid
+        )
+
+    def test_chunks_never_mix_builds(self):
+        grid = [
+            RunRequest(workload=w, design=d, **FAST)
+            for w in ("espresso", "xlisp")
+            for d in ("T4", "T1")
+        ]
+        for chunk in _schedule_chunks(grid, jobs=2):
+            assert len({_build_key(r) for r in chunk}) == 1
+
+    def test_longest_first_ordering(self):
+        short = [RunRequest(workload="espresso", design=d, max_instructions=1_000) for d in ("T4", "T1")]
+        long = [RunRequest(workload="xlisp", design=d, max_instructions=9_000) for d in ("T4", "T1")]
+        chunks = _schedule_chunks(short + long, jobs=2)
+        costs = [max(r.max_instructions for r in c) for c in chunks]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_deterministic(self):
+        grid = [
+            RunRequest(workload=w, design=d, **FAST)
+            for w in ("espresso", "xlisp")
+            for d in ("T4", "T1", "M8")
+        ]
+        a = _schedule_chunks(list(grid), jobs=3)
+        b = _schedule_chunks(list(grid), jobs=3)
+        assert a == b
+
+
+class TestRunManyWithArtifacts:
+    GRID = [
+        RunRequest(workload="espresso", design=d, **FAST)
+        for d in ("T4", "T1", "M8", "I4")
+    ]
+
+    def test_parallel_single_workload_matches_serial(self, tmp_path):
+        serial = run_many(self.GRID, jobs=1)
+        parallel = run_many(self.GRID, jobs=2, artifacts=tmp_path)
+        assert [r.to_dict() for r in parallel] == [r.to_dict() for r in serial]
+
+    def test_warm_artifact_rerun_matches(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        first = run_many(self.GRID, jobs=2, artifacts=store)
+        # Every artifact now exists: the capture phase is skipped.
+        again = run_many(self.GRID, jobs=2, artifacts=ArtifactStore(tmp_path))
+        assert [r.to_dict() for r in again] == [r.to_dict() for r in first]
+
+    def test_progress_reported_per_request(self, tmp_path):
+        lines = []
+        run_many(self.GRID, jobs=2, artifacts=tmp_path, progress=lines.append)
+        done = [line for line in lines if line.endswith(": done")]
+        assert len(done) == len(self.GRID)
+        assert {line.split(":")[0] for line in done} == {r.name for r in self.GRID}
+
+    def test_inline_path_uses_artifacts_and_restores(self, tmp_path):
+        from repro.eval.runner import _CACHE, clear_build_cache
+
+        clear_build_cache()  # force a real build so the write-through fires
+        store = ArtifactStore(tmp_path)
+        before = _CACHE.artifacts
+        results = run_many(self.GRID[:2], jobs=1, artifacts=store)
+        assert _CACHE.artifacts is before, "inline run must restore the attachment"
+        assert store.has_build(_build_key(self.GRID[0]))
+        serial = run_many(self.GRID[:2], jobs=1)
+        assert [r.to_dict() for r in results] == [r.to_dict() for r in serial]

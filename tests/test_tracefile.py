@@ -1,13 +1,32 @@
 """Tests for trace save/replay and the new predictors."""
 
+import struct
+
 import pytest
 
 from repro.branch.predictors import GSharePredictor, TournamentPredictor
 from repro.caches.replacement import XorShift32
 from repro.engine.config import MachineConfig
+from repro.engine.frontend import (
+    build_fetch_plan,
+    decode_fetch_plan,
+    encode_fetch_plan,
+    fetch_config_key,
+)
 from repro.engine.machine import Machine
-from repro.func.executor import Executor
-from repro.func.tracefile import TraceFileError, load_trace, save_trace
+from repro.func.executor import Executor, capture_trace
+from repro.func.tracefile import (
+    SECTION_PROGRAM,
+    SECTION_TRACE,
+    TraceFileError,
+    decode_program,
+    encode_program,
+    load_program,
+    load_trace,
+    read_container,
+    save_trace,
+    write_container,
+)
 from repro.isa.assembler import assemble
 from repro.tlb.factory import make_mechanism
 from repro.workloads import make_workload
@@ -87,6 +106,140 @@ class TestTraceFile:
         save_trace(path, build.program, trace)
         replayed = list(load_trace(path, build.program))
         assert [d.ea for d in replayed] == [d.ea for d in trace]
+
+
+class TestArtifactContainer:
+    """The version-2 sectioned container and its codecs."""
+
+    def test_version_1_file_rejected_with_clear_error(self, tmp_path):
+        # A version-1 file: the old bare header (magic, version, record
+        # count, program length) followed by records, no sections.
+        prog = assemble(ASM)
+        trace = list(Executor(prog).run())
+        path = tmp_path / "legacy.rptr"
+        header = struct.Struct("<4sHxxQQ").pack(b"RPTR", 1, len(trace), len(prog))
+        record = struct.Struct("<QIIIHH")
+        with open(path, "wb") as fh:
+            fh.write(header)
+            for d in trace:
+                ea = 0 if d.ea is None else d.ea + 1
+                fh.write(
+                    record.pack(d.seq, d.decoded.index, d.pc, ea, int(d.taken), d.next_index)
+                )
+        with pytest.raises(TraceFileError, match="version-1"):
+            list(load_trace(path, prog))
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "future.rptr"
+        path.write_bytes(struct.Struct("<4sHxxQQ").pack(b"RPTR", 99, 0, 0))
+        with pytest.raises(TraceFileError, match="unsupported version: 99"):
+            read_container(path)
+
+    def test_program_embedded_and_recoverable(self, tmp_path):
+        prog = assemble(ASM)
+        path = tmp_path / "trace.rptr"
+        save_trace(path, prog, Executor(prog).run())
+        again = load_program(path)
+        assert len(again) == len(prog)
+        assert again.code_base == prog.code_base
+        assert again.listing() == prog.listing()
+
+    def test_program_codec_round_trip_on_workload(self):
+        build = make_workload("xlisp").build(int_regs=8, fp_regs=8)
+        again = decode_program(encode_program(build.program))
+        assert again.listing() == build.program.listing()
+        assert again.labels == build.program.labels
+        # The embedded program rebuilds an identical dynamic stream.
+        trace = capture_trace(build.program, build.memory.clone(), 2_000)
+        replayed = capture_trace(again, build.memory.clone(), 2_000)
+        assert [(d.pc, d.ea, d.taken, d.next_index) for d in trace] == [
+            (d.pc, d.ea, d.taken, d.next_index) for d in replayed
+        ]
+
+    def test_missing_section_rejected(self, tmp_path):
+        path = tmp_path / "bare.rpta"
+        prog = assemble("halt")
+        write_container(path, {SECTION_PROGRAM: encode_program(prog)})
+        with pytest.raises(TraceFileError, match="no trace section"):
+            list(load_trace(path, prog))
+        write_container(path, {SECTION_TRACE: b"\x00" * 16})
+        with pytest.raises(TraceFileError, match="no program section"):
+            load_program(path)
+
+    def test_corrupt_program_section_rejected(self, tmp_path):
+        path = tmp_path / "bad.rpta"
+        write_container(path, {SECTION_PROGRAM: b"{not json"})
+        with pytest.raises(TraceFileError, match="malformed program"):
+            decode_program(read_container(path)[SECTION_PROGRAM])
+
+
+class TestFetchPlanCodec:
+    """FetchPlan round trip through the PLAN payload encoding."""
+
+    def _plan_shape(self, plan):
+        shape = []
+        for event in plan.events:
+            if event.__class__ is int:
+                shape.append(event)
+            else:
+                group, branches, jumps = event
+                shape.append(
+                    (
+                        [d.seq for d in group.insts],
+                        group.mispredicted_tail,
+                        branches,
+                        jumps,
+                    )
+                )
+        return shape
+
+    def test_round_trip_preserves_events_and_stats(self):
+        build = make_workload("compress").build()
+        trace = capture_trace(build.program, build.memory.clone(), 4_000)
+        config = MachineConfig(model_itlb=True, itlb_entries=2)
+        plan = build_fetch_plan(trace, config)
+        again = decode_fetch_plan(encode_fetch_plan(plan, len(trace)), trace)
+        assert self._plan_shape(again) == self._plan_shape(plan)
+        assert again.icache_stats == plan.icache_stats
+
+    def test_decoded_plan_drives_machine_identically(self):
+        build = make_workload("espresso").build()
+        trace = capture_trace(build.program, build.memory.clone(), 3_000)
+        config = MachineConfig()
+        plan = build_fetch_plan(trace, config)
+        again = decode_fetch_plan(encode_fetch_plan(plan, len(trace)), trace)
+
+        def run(p):
+            mech = make_mechanism("T1", config.page_shift)
+            return Machine(config, mech, trace, fetch_plan=p).run()
+
+        live, hydrated = run(plan), run(again)
+        assert hydrated.cycles == live.cycles
+        assert hydrated.stats.committed == live.stats.committed
+
+    def test_trace_length_mismatch_rejected(self):
+        build = make_workload("compress").build()
+        trace = capture_trace(build.program, build.memory.clone(), 1_000)
+        plan = build_fetch_plan(trace, MachineConfig())
+        data = encode_fetch_plan(plan, len(trace))
+        with pytest.raises(TraceFileError, match="built over"):
+            decode_fetch_plan(data, trace[:-10])
+
+    def test_truncated_payload_rejected(self):
+        build = make_workload("compress").build()
+        trace = capture_trace(build.program, build.memory.clone(), 500)
+        plan = build_fetch_plan(trace, MachineConfig())
+        data = encode_fetch_plan(plan, len(trace))
+        with pytest.raises(TraceFileError, match="truncated"):
+            decode_fetch_plan(data[:-4], trace)
+
+    def test_fetch_config_key_tracks_frontend_fields(self):
+        base = fetch_config_key(MachineConfig())
+        assert fetch_config_key(MachineConfig()) == base
+        assert fetch_config_key(MachineConfig(predictor="gshare")) != base
+        assert fetch_config_key(MachineConfig(fetch_width=4)) != base
+        # Fields fetch never observes do not perturb the key.
+        assert fetch_config_key(MachineConfig(tlb_miss_latency=99)) == base
 
 
 def _accuracy(predictor, stream):
