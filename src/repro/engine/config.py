@@ -105,6 +105,15 @@ class MachineConfig:
     # exists for A/B verification and the equivalence property test.
     event_driven: bool = True
 
+    # Simulation sanitizer: attach a repro.check.invariants.SanityChecker
+    # to the run, validating per-cycle engine invariants and replaying
+    # every event-driven skip against the mechanism's quiescent_until
+    # contract.  Purely observational — a passing run's results are
+    # bit-identical with the flag off — but slow; meant for the
+    # differential/fuzz harness (python -m repro.check) and tests, not
+    # for figure grids.
+    sanity: bool = False
+
     # Integer divide occupies its unit for its full latency.
     int_div_latency: int = 12
     fp_div_latency: int = 12

@@ -291,6 +291,16 @@ class Machine:
         #: expire sweep is a no-op before this cycle, so it is gated.
         #: Lowered by every allocation, recomputed after every sweep.
         self._mshr_next = 0
+        #: Optional cycle-level invariant checker (``config.sanity``).
+        #: Must attach here, before run() caches bound methods: the
+        #: checker interposes on ``mech.tick`` to audit port grants.
+        #: ``None`` (the default) adds zero per-cycle overhead.
+        if config.sanity:
+            from repro.check.invariants import SanityChecker
+
+            self.checker = SanityChecker(self)
+        else:
+            self.checker = None
 
     # -- top level --------------------------------------------------------------
 
@@ -317,6 +327,7 @@ class Machine:
         cs_interval = self.config.context_switch_interval
         max_cycles = self.config.max_cycles
         event_driven = self._event_driven
+        checker = self.checker
         if prof is not None:
             squash = prof.wrap("squash", squash)
             commit = prof.wrap("commit", commit)
@@ -371,8 +382,12 @@ class Machine:
                     # before the returned cycle is a no-op, and every
                     # engine->mechanism mutation resets the bound.
                     self._mech_quiet = mech_quiet_until(now)
+            elif checker is not None:
+                checker.on_tick_skipped(now)
             if dispatch(now):
                 did_work = True
+            if checker is not None:
+                checker.on_cycle(now)
             now += 1
             if max_cycles and now >= max_cycles:
                 raise RuntimeError(f"simulation exceeded {max_cycles} cycles")
@@ -396,6 +411,8 @@ class Machine:
                     skipped = target - now
                     self.skipped_cycles += skipped
                     self.skip_jumps += 1
+                    if checker is not None:
+                        checker.on_skip(now - 1, target)
                     if self._tlb_blockers:
                         stats.tlb_dispatch_stall_cycles += skipped
                     elif len(fetch_queue) <= self._fetch_width and (

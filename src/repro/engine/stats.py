@@ -10,7 +10,15 @@ from repro.tlb.stats import TranslationStats
 
 @dataclass
 class MachineStats:
-    """Counters accumulated over one timing simulation."""
+    """Counters accumulated over one timing simulation.
+
+    Derived-rate properties (``commit_ipc``, ``issue_ipc``,
+    ``branch_prediction_rate``, ``mem_refs_per_cycle``) are total
+    functions: a run that retires zero instructions, executes zero
+    cycles, or contains zero branches — e.g. a zero-length trace —
+    yields ``0.0``, never a ``ZeroDivisionError``.  Regression tests in
+    ``tests/test_stats.py`` pin this contract.
+    """
 
     cycles: int = 0
     committed: int = 0

@@ -32,6 +32,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -40,22 +41,70 @@ from repro.eval.runner import RunRequest, RunResult
 _FINGERPRINT: str | None = None
 
 
-def code_fingerprint() -> str:
+def _iter_source_files():
+    """Yield ``(key, path)`` for every source file the fingerprint covers.
+
+    Two sweeps, deduplicated by resolved path:
+
+    1. every file under the installed ``repro`` package root (not just
+       ``*.py`` — compiled extensions or data files shipped alongside
+       the sources also shape results);
+    2. the resolved ``__file__`` of every imported ``repro.*`` module in
+       ``sys.modules``, which catches sources loaded from *other*
+       locations — editable installs, namespace-package layouts, or
+       test-injected modules — that the directory sweep cannot see.
+
+    The second sweep is empty in the standard layout (every module file
+    already lives under the package root), so the fingerprint stays
+    stable across processes that import different module subsets.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    seen: set[Path] = set()
+    if root.is_dir():
+        for path in sorted(p for p in root.rglob("*") if p.is_file()):
+            if path.name.endswith((".pyc", ".pyo")) or "__pycache__" in path.parts:
+                continue
+            seen.add(path)
+            yield str(path.relative_to(root)), path
+    for name in sorted(sys.modules):
+        if name != "repro" and not name.startswith("repro."):
+            continue
+        module = sys.modules[name]
+        file = getattr(module, "__file__", None)
+        if not file:
+            continue
+        try:
+            path = Path(file).resolve()
+        except OSError:
+            continue
+        if path in seen or not path.is_file():
+            continue
+        seen.add(path)
+        yield f"module:{name}", path
+
+
+def code_fingerprint(refresh: bool = False) -> str:
     """Hash of the repro package's source (cached per process).
 
-    Covers file names and contents of every ``*.py`` under the package
-    root, so any change to the simulator invalidates every stored run.
+    Covers names and contents of every file under the package root
+    *and* of every imported ``repro.*`` module resolved via
+    ``sys.modules`` — so edits picked up through editable installs or
+    namespace layouts, and changes to non-``.py`` package data, also
+    invalidate every stored run.  ``refresh=True`` recomputes the
+    cached value (tests use it after mutating a module on disk).
     """
     global _FINGERPRINT
-    if _FINGERPRINT is None:
-        import repro
-
-        root = Path(repro.__file__).resolve().parent
+    if _FINGERPRINT is None or refresh:
         digest = hashlib.sha256()
-        for path in sorted(root.rglob("*.py")):
-            digest.update(str(path.relative_to(root)).encode())
+        for key, path in _iter_source_files():
+            digest.update(key.encode())
             digest.update(b"\0")
-            digest.update(path.read_bytes())
+            try:
+                digest.update(path.read_bytes())
+            except OSError:
+                digest.update(b"<unreadable>")
             digest.update(b"\0")
         _FINGERPRINT = digest.hexdigest()[:16]
     return _FINGERPRINT

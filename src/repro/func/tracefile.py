@@ -56,6 +56,12 @@ SECTION_PROGRAM = b"PROG"
 SECTION_TRACE = b"TRCE"
 SECTION_PLAN = b"PLAN"
 
+#: The format is closed: every valid container section carries one of
+#: these tags, and readers reject anything else (a stray tag means a
+#: corrupt or foreign file, not a future extension — extensions bump
+#: the version).
+_KNOWN_SECTIONS = frozenset((SECTION_PROGRAM, SECTION_TRACE, SECTION_PLAN))
+
 #: Stable order for AddrMode serialization (enum declaration order).
 _ADDR_MODES = tuple(AddrMode)
 _ADDR_MODE_INDEX = {mode: i for i, mode in enumerate(_ADDR_MODES)}
@@ -104,6 +110,8 @@ def read_container(path: "str | Path") -> dict[bytes, bytes]:
             if len(raw) < _SECTION.size:
                 raise TraceFileError("truncated section header")
             tag, length = _SECTION.unpack(raw)
+            if tag not in _KNOWN_SECTIONS:
+                raise TraceFileError(f"unknown section tag: {tag!r}")
             payload = handle.read(length)
             if len(payload) < length:
                 raise TraceFileError(f"truncated {tag!r} section")
@@ -180,6 +188,10 @@ def encode_trace(trace: Iterable[DynInst], program_length: int) -> bytes:
     records = []
     for dyn in trace:
         ea = 0 if dyn.ea is None else dyn.ea + 1
+        if dyn.seq < 0:
+            # Wrong-path synthetics carry negative seqs; persisting one
+            # would otherwise surface as a bare struct.error.
+            raise TraceFileError(f"negative sequence number in trace: {dyn.seq}")
         if not 0 <= dyn.next_index <= 0xFFFF:
             raise TraceFileError(
                 f"next_index {dyn.next_index} exceeds the 16-bit record field"

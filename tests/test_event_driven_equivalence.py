@@ -10,15 +10,19 @@ equivalence argument is continuously re-checked across the whole
 configuration space, not just the figure grids.
 """
 
+import copy
 import dataclasses
 import random
 
 import pytest
 
+from repro.check.invariants import freeze_state
 from repro.engine.config import MachineConfig
 from repro.engine.machine import Machine
 from repro.eval.runner import RunRequest, _CACHE, simulate
+from repro.tlb.base import NEVER, PortArbiter
 from repro.tlb.factory import DESIGN_MNEMONICS, make_mechanism
+from repro.tlb.request import TranslationRequest
 from repro.workloads import iter_workload_names
 
 
@@ -72,3 +76,98 @@ def test_plain_loop_never_skips():
     machine.run()
     assert machine.skip_jumps == 0
     assert machine.skipped_cycles == 0
+
+
+# ---------------------------------------------------------------------------
+# Per-mechanism quiescent_until contract (standalone, no timing engine).
+# ---------------------------------------------------------------------------
+
+
+def _synthetic_requests(rng: random.Random, count: int) -> list[TranslationRequest]:
+    """A bursty stream: clustered submissions force port contention."""
+    requests, cycle, seq = [], 0, 0
+    while seq < count:
+        cycle += rng.choice((1, 1, 2, 5, 9))
+        for _ in range(rng.randint(1, 4)):
+            if seq >= count:
+                break
+            is_write = rng.random() < 0.3
+            requests.append(
+                TranslationRequest(
+                    seq,
+                    rng.choice((0x10, 0x11, 0x12, rng.randint(0x8000, 0x8100))),
+                    cycle,
+                    is_write=is_write,
+                    is_load=not is_write,
+                    base_reg=rng.randint(1, 8),
+                    offset=rng.choice((0, 8, 64)),
+                )
+            )
+            seq += 1
+    return requests
+
+
+def _drive(mech, requests, use_quiescence: bool):
+    """Feed the stream, mirroring the engine's ``_mech_quiet`` protocol.
+
+    With ``use_quiescence`` the mechanism is ticked only at/after its own
+    quiescent bound (reset on every submission, exactly as the engine
+    does); without it, every cycle.  The observable event streams must be
+    identical — this is the ``quiescent_until`` contract in isolation.
+    """
+    by_cycle: dict[int, list[TranslationRequest]] = {}
+    for req in requests:
+        by_cycle.setdefault(req.cycle, []).append(req)
+    horizon = max(by_cycle) + 64
+    events, quiet = [], 0
+    for now in range(horizon):
+        for req in by_cycle.get(now, ()):
+            shield = mech.request(req)
+            quiet = 0
+            if shield is not None:
+                events.append((now, "shield", shield.req.seq, shield.ready))
+        if use_quiescence and now < quiet:
+            continue
+        results = mech.tick(now)
+        if results:
+            events.extend(
+                (now, "tick", r.req.seq, r.ready, r.tlb_miss, r.shielded, r.depends_on)
+                for r in results
+            )
+        elif use_quiescence:
+            quiet = mech.quiescent_until(now)
+    assert mech.pending() == 0
+    return events
+
+
+@pytest.mark.parametrize("design", sorted(DESIGN_MNEMONICS))
+def test_quiescent_until_contract_per_mechanism(design):
+    for seed in (11, 23):
+        rng = random.Random(seed)
+        requests = _synthetic_requests(rng, 40)
+        ticked = make_mechanism(design, 12)
+        skipped = make_mechanism(design, 12)
+        every = _drive(ticked, requests, use_quiescence=False)
+        sparse = _drive(skipped, requests, use_quiescence=True)
+        assert every == sparse, f"{design} seed={seed}"
+        # Skipped ticks must also be state-invisible, not just silent.
+        assert freeze_state(ticked) == freeze_state(skipped), design
+
+
+def test_port_arbiter_quiescent_bound_is_safe_and_tight():
+    rng = random.Random(7)
+    for _ in range(200):
+        arbiter = PortArbiter(rng.randint(1, 4))
+        now = rng.randint(0, 20)
+        for seq in range(rng.randint(0, 6)):
+            arbiter.submit(now + rng.randint(-3, 8), seq, ("payload", seq))
+        bound = arbiter.quiescent_until(now)
+        if len(arbiter) == 0:
+            assert bound == NEVER
+            continue
+        assert bound > now
+        # Safe: no cycle strictly inside the span can grant anything.
+        for cycle in range(now + 1, min(bound, now + 12)):
+            assert copy.deepcopy(arbiter).grant(cycle) == []
+        # Tight: the bound itself is a live event.
+        assert copy.deepcopy(arbiter).grant(bound) != []

@@ -157,6 +157,45 @@ class TestResultStore:
         assert code_fingerprint() == code_fingerprint()
         assert len(code_fingerprint()) == 16
 
+    def test_module_edit_invalidates_stored_results(self, tmp_path):
+        """Editing any imported repro module must change the fingerprint.
+
+        The fingerprint covers modules resolved via ``sys.modules``, not
+        just files under the package directory, so sources loaded from
+        elsewhere (editable installs, injected modules) also invalidate
+        the store.  Exercised here with a probe module outside the
+        package root.
+        """
+        import importlib.util
+        import sys
+
+        probe = tmp_path / "fingerprint_probe.py"
+        probe.write_text("VALUE = 1\n")
+        spec = importlib.util.spec_from_file_location(
+            "repro._fingerprint_probe", probe
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        sys.modules["repro._fingerprint_probe"] = module
+        try:
+            before = code_fingerprint(refresh=True)
+            req = SMALL_GRID[0]
+            store = ResultStore(tmp_path / "store", fingerprint=before)
+            run_one(req, store=store)
+            assert store.get(req) is not None
+
+            probe.write_text("VALUE = 2\n")
+            after = code_fingerprint(refresh=True)
+            assert after != before
+
+            stale = ResultStore(tmp_path / "store", fingerprint=after)
+            # Source change -> new key -> the old entry is never reused.
+            assert stale.get(req) is None
+            assert req not in stale
+        finally:
+            del sys.modules["repro._fingerprint_probe"]
+            code_fingerprint(refresh=True)
+
 
 class TestBuildCacheLRU:
     def test_builds_bounded_and_traces_evicted_with_build(self):

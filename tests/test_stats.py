@@ -2,7 +2,10 @@
 
 import pytest
 
+from repro.engine.config import MachineConfig
+from repro.engine.machine import Machine
 from repro.engine.stats import MachineStats
+from repro.tlb.factory import make_mechanism
 from repro.tlb.stats import TranslationStats
 
 
@@ -55,3 +58,31 @@ class TestMachineStats:
         a.icache.accesses = 9
         assert b.translation_demand == {}
         assert b.icache.accesses == 0
+
+    def test_every_derived_rate_is_total_on_defaults(self):
+        """The derived-rate contract: no divisor ever raises."""
+        s = MachineStats()
+        assert (
+            s.commit_ipc,
+            s.issue_ipc,
+            s.branch_prediction_rate,
+            s.mem_refs_per_cycle,
+        ) == (0.0, 0.0, 0.0, 0.0)
+
+
+class TestZeroLengthRun:
+    def test_empty_trace_run_yields_zero_rates(self):
+        """End-to-end: a zero-instruction run must finish with 0.0 rates,
+        not a ZeroDivisionError from any derived property."""
+        config = MachineConfig()
+        machine = Machine(config, make_mechanism("T4", config.page_shift), [])
+        result = machine.run()
+        stats = result.stats
+        assert stats.committed == 0
+        assert stats.commit_ipc == 0.0
+        assert stats.issue_ipc == 0.0
+        assert stats.branch_prediction_rate == 0.0
+        assert stats.mem_refs_per_cycle == 0.0
+        assert stats.translation.shielded_fraction == 0.0
+        assert stats.translation.base_miss_rate == 0.0
+        assert stats.translation.mean_port_stall == 0.0

@@ -14,6 +14,7 @@ from repro.engine.frontend import (
     fetch_config_key,
 )
 from repro.engine.machine import Machine
+from repro.func.dyninst import DynInst
 from repro.func.executor import Executor, capture_trace
 from repro.func.tracefile import (
     SECTION_PROGRAM,
@@ -21,6 +22,7 @@ from repro.func.tracefile import (
     TraceFileError,
     decode_program,
     encode_program,
+    encode_trace,
     load_program,
     load_trace,
     read_container,
@@ -171,6 +173,69 @@ class TestArtifactContainer:
         write_container(path, {SECTION_PROGRAM: b"{not json"})
         with pytest.raises(TraceFileError, match="malformed program"):
             decode_program(read_container(path)[SECTION_PROGRAM])
+
+
+class TestContainerErrorPaths:
+    """Malformed containers must raise TraceFileError, never a bare
+    struct.error or KeyError from the codec internals."""
+
+    _header = struct.Struct("<4sHxxQQ")
+    _section = struct.Struct("<4sQ")
+
+    def test_unknown_section_tag_rejected(self, tmp_path):
+        path = tmp_path / "foreign.rpta"
+        path.write_bytes(
+            self._header.pack(b"RPTR", 2, 1, 0) + self._section.pack(b"JUNK", 0)
+        )
+        with pytest.raises(TraceFileError, match="unknown section tag"):
+            read_container(path)
+
+    def test_truncated_section_header_rejected(self, tmp_path):
+        path = tmp_path / "chopped.rpta"
+        path.write_bytes(self._header.pack(b"RPTR", 2, 1, 0) + b"\x00" * 5)
+        with pytest.raises(TraceFileError, match="truncated section header"):
+            read_container(path)
+
+    def test_truncated_section_payload_rejected(self, tmp_path):
+        path = tmp_path / "short.rpta"
+        path.write_bytes(
+            self._header.pack(b"RPTR", 2, 1, 0)
+            + self._section.pack(SECTION_PROGRAM, 64)
+            + b"short"
+        )
+        with pytest.raises(TraceFileError, match="truncated b'PROG' section"):
+            read_container(path)
+
+    def test_truncated_record_stream_rejected(self, tmp_path):
+        prog = assemble(ASM)
+        path = tmp_path / "records.rptr"
+        save_trace(path, prog, Executor(prog).run())
+        sections = read_container(path)
+        # Claim one more record than the payload actually holds.
+        head = struct.Struct("<QQ")
+        count, prog_len = head.unpack_from(sections[SECTION_TRACE])
+        doctored = head.pack(count + 1, prog_len) + sections[SECTION_TRACE][head.size :]
+        write_container(path, {SECTION_PROGRAM: sections[SECTION_PROGRAM],
+                               SECTION_TRACE: doctored})
+        with pytest.raises(TraceFileError, match="truncated record stream"):
+            list(load_trace(path, prog))
+
+    def test_negative_sequence_number_rejected(self):
+        # Wrong-path synthetics carry negative seqs and must never be
+        # persisted; the codec rejects them instead of leaking a
+        # struct.error.
+        prog = assemble(ASM)
+        first = next(iter(Executor(prog).run()))
+        synthetic = DynInst(
+            -1,
+            first.decoded,
+            first.pc,
+            ea=first.ea,
+            taken=first.taken,
+            next_index=first.next_index,
+        )
+        with pytest.raises(TraceFileError, match="negative sequence"):
+            encode_trace([synthetic], len(prog))
 
 
 class TestFetchPlanCodec:
