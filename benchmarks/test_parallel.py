@@ -12,6 +12,7 @@ import time
 
 from conftest import archive, bench_insts
 
+from repro.eval.options import EvalOptions
 from repro.eval.parallel import run_many
 from repro.eval.resultstore import ResultStore
 from repro.eval.runner import RunRequest
@@ -28,18 +29,18 @@ def test_parallel_and_store_timing(tmp_path):
     ]
 
     started = time.perf_counter()
-    serial = run_many(grid, jobs=1)
+    serial = run_many(grid, EvalOptions(jobs=1))
     t_serial = time.perf_counter() - started
 
     started = time.perf_counter()
-    parallel = run_many(grid, jobs=4)
+    parallel = run_many(grid, EvalOptions(jobs=4))
     t_parallel = time.perf_counter() - started
 
     cold_store = ResultStore(tmp_path)
-    run_many(grid, jobs=4, store=cold_store)
+    run_many(grid, EvalOptions(jobs=4, store=cold_store))
     warm_store = ResultStore(tmp_path)
     started = time.perf_counter()
-    warm = run_many(grid, jobs=4, store=warm_store)
+    warm = run_many(grid, EvalOptions(jobs=4, store=warm_store))
     t_warm = time.perf_counter() - started
 
     lines = [

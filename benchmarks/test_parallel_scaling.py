@@ -58,6 +58,7 @@ def _grid(max_instructions: int):
 def measure(max_instructions: int = 20_000, jobs_list: tuple = (2, 4)) -> dict:
     """Time serial vs parallel over a one-workload 13-design grid."""
     from repro.eval.artifacts import ArtifactStore
+    from repro.eval.options import EvalOptions
     from repro.eval.parallel import _schedule_chunks, run_many
     from repro.eval.runner import clear_build_cache
 
@@ -65,7 +66,7 @@ def measure(max_instructions: int = 20_000, jobs_list: tuple = (2, 4)) -> dict:
 
     clear_build_cache()
     start = perf_counter()
-    serial = run_many(grid, jobs=1)
+    serial = run_many(grid, EvalOptions(jobs=1))
     serial_wall = perf_counter() - start
     reference = [r.to_dict() for r in serial]
 
@@ -76,13 +77,13 @@ def measure(max_instructions: int = 20_000, jobs_list: tuple = (2, 4)) -> dict:
         with tempfile.TemporaryDirectory(prefix="repro-bench-art-") as root:
             clear_build_cache()
             start = perf_counter()
-            cold = run_many(grid, jobs=jobs, artifacts=ArtifactStore(root))
+            cold = run_many(grid, EvalOptions(jobs=jobs, artifacts=ArtifactStore(root)))
             cold_wall = perf_counter() - start
             assert [r.to_dict() for r in cold] == reference, "parallel != serial"
 
             clear_build_cache()
             start = perf_counter()
-            warm = run_many(grid, jobs=jobs, artifacts=ArtifactStore(root))
+            warm = run_many(grid, EvalOptions(jobs=jobs, artifacts=ArtifactStore(root)))
             warm_wall = perf_counter() - start
             assert [r.to_dict() for r in warm] == reference, "warm != serial"
         scaling.append(

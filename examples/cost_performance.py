@@ -13,7 +13,7 @@ Usage::
 
 import sys
 
-from repro.eval.experiments import run_figure
+from repro.eval import run_figure
 from repro.tlb.costmodel import design_cost
 from repro.tlb.factory import DESIGN_MNEMONICS
 

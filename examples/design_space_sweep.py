@@ -18,7 +18,7 @@ Usage::
 import sys
 
 from repro import DESIGN_MNEMONICS, RunRequest, iter_workload_names, run_one
-from repro.eval.weighting import normalized_rtw_average
+from repro.eval import normalized_rtw_average
 
 
 def main() -> None:

@@ -3,7 +3,9 @@ Translation for Multiple-Issue Processors" (ISCA 1996).
 
 Quick start::
 
-    from repro import ArtifactStore, ResultStore, RunRequest, run_many, run_one
+    from repro import (
+        ArtifactStore, EvalOptions, ResultStore, RunRequest, run_many, run_one,
+    )
 
     result = run_one(RunRequest(workload="xlisp", design="M8"))
     print(result.ipc, result.stats.translation.shielded_fraction)
@@ -17,8 +19,13 @@ Quick start::
         for w in ("xlisp", "compress")
         for d in ("T4", "M8", "PB2")
     ]
-    results = run_many(grid, jobs=4, store=ResultStore(), artifacts=ArtifactStore())
+    opts = EvalOptions(jobs=4, store=ResultStore(), artifacts=ArtifactStore())
+    results = run_many(grid, opts)
     print({r.name: round(r.ipc, 3) for r in results})
+
+    # Or point the same call at a running `python -m repro.serve`
+    # daemon (see docs/serving.md) — results are bit-identical:
+    results = run_many(grid, EvalOptions(server="unix:/tmp/serve.sock"))
 
 Packages
 --------
@@ -31,10 +38,12 @@ Packages
 ``repro.engine``     cycle-level 8-way in-order/out-of-order machine
 ``repro.workloads``  the ten synthetic benchmarks
 ``repro.eval``       experiment drivers for every table and figure
+``repro.serve``      long-running evaluation daemon over the stores
 """
 
 from repro.engine import Machine, MachineConfig, SimulationResult
 from repro.eval.artifacts import ArtifactStore
+from repro.eval.options import EvalOptions
 from repro.eval.parallel import run_many
 from repro.eval.resultstore import ResultStore
 from repro.eval.runner import RunRequest, RunResult, run_one
@@ -46,6 +55,7 @@ __version__ = "1.1.0"
 __all__ = [
     "ArtifactStore",
     "DESIGN_MNEMONICS",
+    "EvalOptions",
     "Machine",
     "MachineConfig",
     "ResultStore",

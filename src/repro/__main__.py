@@ -21,6 +21,7 @@ import argparse
 from repro.analysis.demand import demand_profile
 from repro.analysis.reusedist import StackDistanceAnalyzer
 from repro.analysis.spatial import profile_workload
+from repro.eval.options import add_eval_args
 from repro.eval.runner import RunRequest, run_one
 from repro.func.executor import Executor
 from repro.tlb.factory import DESIGN_MNEMONICS, EXTENSION_MNEMONICS
@@ -169,16 +170,9 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print a host-side per-phase wall-time profile of the run",
     )
-    p_run.add_argument(
-        "--artifacts",
-        nargs="?",
-        const="",
-        default=None,
-        metavar="DIR",
-        help="cache the workload's build artifacts (program/trace/fetch "
-        "plan) in DIR so repeated runs skip the functional execution "
-        "(no DIR: $REPRO_ARTIFACT_STORE or ~/.cache/repro/artifacts)",
-    )
+    # Single runs take only the artifact knob of the shared engine
+    # flags (no grid: nothing to shard or memoize).
+    add_eval_args(p_run, jobs=False, cache=False, artifacts=True)
 
     p_prof = sub.add_parser("profile", help="spatial locality profile")
     p_prof.add_argument("workload")

@@ -7,6 +7,7 @@ Usage::
     python -m repro.eval figure6 [--insts N]
     python -m repro.eval figure7|figure8|figure9 ...
     python -m repro.eval scorecard [--jobs 4]
+    python -m repro.eval figure5 --server            # use a running daemon
 
 Timing grids fan out across ``--jobs`` worker processes (scheduled at
 request granularity, longest runs first) and memoize every run in the
@@ -18,6 +19,13 @@ counts are reported on stderr after each experiment.  ``--artifacts
 (program, trace, fetch plan) on disk so worker processes — and later
 invocations — hydrate them instead of re-running the functional
 simulator (honors ``$REPRO_ARTIFACT_STORE``).
+
+``--server [ADDR]`` submits the grid to a running ``python -m
+repro.serve`` daemon instead of simulating locally: the daemon owns the
+stores and worker pool, dedupes identical in-flight requests across
+every connected client, and streams results back (bit-identical to a
+local run).  The shared engine flags live in
+:mod:`repro.eval.options`.
 """
 
 from __future__ import annotations
@@ -28,8 +36,8 @@ import time
 
 from repro.eval.experiments import EXPERIMENTS, run_figure, run_table3
 from repro.eval.missrates import run_figure6
+from repro.eval.options import EvalOptions, add_eval_args
 from repro.eval.report import render_figure, render_figure6, render_table3
-from repro.eval.resultstore import ResultStore
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -65,35 +73,7 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="comma-separated workload subset (default: all ten)",
     )
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for the run grid (default 1 = serial; "
-        "0 = one per CPU)",
-    )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="bypass the on-disk result store (always simulate)",
-    )
-    parser.add_argument(
-        "--store",
-        default=None,
-        metavar="DIR",
-        help="result-store directory (default: $REPRO_RESULT_STORE or "
-        "~/.cache/repro/runstore)",
-    )
-    parser.add_argument(
-        "--artifacts",
-        nargs="?",
-        const="",
-        default=None,
-        metavar="DIR",
-        help="cache build artifacts (program/trace/fetch plan) in DIR so "
-        "workers hydrate instead of rebuilding (no DIR: "
-        "$REPRO_ARTIFACT_STORE or ~/.cache/repro/artifacts)",
-    )
+    add_eval_args(parser, jobs=True, cache=True, artifacts=True, server=True)
     parser.add_argument("--quiet", action="store_true", help="suppress progress lines")
     parser.add_argument(
         "--profile",
@@ -105,24 +85,21 @@ def main(argv: list[str] | None = None) -> int:
 
     workloads = args.workloads.split(",") if args.workloads else None
     progress = None if args.quiet else lambda msg: print(f"  .. {msg}", file=sys.stderr)
-    jobs = args.jobs if args.jobs > 0 else None
-    store = None
-    if not args.no_cache and args.experiment != "figure6":
-        store = ResultStore(args.store)
-    artifacts = None
-    if args.artifacts is not None and args.experiment != "figure6":
-        from repro.eval.artifacts import ArtifactStore
-
-        artifacts = ArtifactStore(args.artifacts or None)
-    profiler = None
+    if args.experiment == "figure6":
+        # Figure 6 is trace-driven: the engine knobs do not apply.
+        opts = EvalOptions()
+    else:
+        opts = EvalOptions.from_args(args).replace(progress=progress)
     if args.profile:
         if args.experiment in ("figure6", "scorecard"):
             print(f"[--profile is not supported for {args.experiment}; ignoring]",
                   file=sys.stderr)
+        elif opts.server is not None:
+            print("[--profile cannot cross --server; ignoring]", file=sys.stderr)
         else:
             from repro.perf import SimProfiler
 
-            profiler = SimProfiler()
+            opts = opts.replace(profiler=SimProfiler())
 
     started = time.time()
     if args.experiment == "scorecard":
@@ -131,25 +108,13 @@ def main(argv: list[str] | None = None) -> int:
         result = run_scorecard(
             max_instructions=args.insts,
             workloads=workloads,
-            progress=progress,
-            jobs=jobs,
-            store=store,
-            artifacts=artifacts,
+            options=opts,
         )
         print(result.render())
     elif args.experiment == "table3":
-        print(
-            render_table3(
-                run_table3(
-                    workloads=workloads,
-                    max_instructions=args.insts,
-                    jobs=jobs,
-                    store=store,
-                    profiler=profiler,
-                    artifacts=artifacts,
-                )
-            )
-        )
+        print(render_table3(run_table3(
+            workloads=workloads, max_instructions=args.insts, options=opts
+        )))
     elif args.experiment == "figure6":
         print(
             render_figure6(
@@ -161,23 +126,24 @@ def main(argv: list[str] | None = None) -> int:
         kwargs = dict(
             workloads=workloads,
             max_instructions=args.insts,
-            progress=progress,
-            jobs=jobs,
-            store=store,
-            profiler=profiler,
-            artifacts=artifacts,
+            options=opts,
         )
         if designs is not None:
             kwargs["designs"] = designs
         result = run_figure(args.experiment, **kwargs)
         print(render_figure(result))
-    if profiler is not None:
-        print(f"\n{profiler.render()}", file=sys.stderr)
+    if opts.profiler is not None:
+        print(f"\n{opts.profiler.render()}", file=sys.stderr)
     print(f"\n[{args.experiment} regenerated in {time.time() - started:.1f}s]", file=sys.stderr)
-    if store is not None:
-        print(f"[result store: {store.stats.render()} | {store.root}]", file=sys.stderr)
-    if artifacts is not None:
-        print(f"[artifact cache: {len(artifacts)} entries | {artifacts.root}]", file=sys.stderr)
+    if opts.server is not None:
+        print(f"[evaluated by server: {opts.server}]", file=sys.stderr)
+    if opts.store is not None:
+        print(f"[result store: {opts.store.stats.render()} | {opts.store.root}]", file=sys.stderr)
+    if opts.artifacts is not None:
+        print(
+            f"[artifact cache: {len(opts.artifacts)} entries | {opts.artifacts.root}]",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -159,15 +159,23 @@ def run_scorecard(
     jobs: int = 1,
     store=None,
     artifacts=None,
+    options=None,
 ) -> ScorecardResult:
-    """Run the three figure grids and evaluate every claim."""
+    """Run the three figure grids and evaluate every claim.
+
+    ``options`` (an :class:`~repro.eval.options.EvalOptions`) wins over
+    the individual engine knobs when given.
+    """
+    if options is None:
+        from repro.eval.options import EvalOptions
+
+        options = EvalOptions(
+            jobs=jobs, store=store, progress=progress, artifacts=artifacts
+        )
     grid = dict(
         workloads=workloads,
         max_instructions=max_instructions,
-        progress=progress,
-        jobs=jobs,
-        store=store,
-        artifacts=artifacts,
+        options=options,
     )
     fig5 = run_figure("figure5", **grid)
     fig7 = run_figure("figure7", **grid)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from repro.eval.options import EvalOptions
 from repro.eval.parallel import run_many
 from repro.eval.runner import RunRequest, RunResult
 from repro.eval.weighting import normalized_rtw_average
@@ -95,15 +96,16 @@ def run_figure(
     store=None,
     profiler=None,
     artifacts=None,
+    options: "EvalOptions | None" = None,
 ) -> FigureResult:
     """Run one relative-performance figure's full design x workload grid.
 
     ``T4`` is always included (it is the normalization reference).  The
-    grid is evaluated through :func:`repro.eval.parallel.run_many`:
-    ``jobs`` worker processes scheduled at request granularity, an
-    optional result ``store`` that memoizes every run on disk, and an
-    optional ``artifacts`` store that lets workers hydrate traces and
-    fetch plans instead of rebuilding them.
+    grid is evaluated through :func:`repro.eval.parallel.run_many`,
+    configured either by an :class:`~repro.eval.options.EvalOptions`
+    (``options`` — which wins outright when given, and may point the
+    grid at a running evaluation server) or by the individual
+    ``jobs``/``store``/``profiler``/``artifacts`` knobs.
     """
     spec = EXPERIMENTS[key]
     design_list = list(dict.fromkeys(["T4", *designs]))
@@ -113,14 +115,12 @@ def run_figure(
         for workload in workload_list
         for design in design_list
     ]
-    grid = run_many(
-        requests,
-        jobs=jobs,
-        store=store,
-        progress=progress,
-        profiler=profiler,
-        artifacts=artifacts,
-    )
+    if options is None:
+        options = EvalOptions(
+            jobs=jobs, store=store, progress=progress,
+            profiler=profiler, artifacts=artifacts,
+        )
+    grid = run_many(requests, options)
     results: dict[str, dict[str, RunResult]] = {d: {} for d in design_list}
     for req, res in zip(requests, grid):
         results[req.design][req.workload] = res
@@ -160,15 +160,18 @@ def run_table3(
     store=None,
     profiler=None,
     artifacts=None,
+    options: "EvalOptions | None" = None,
 ) -> list[Table3Row]:
     """Baseline (OOO, T4) per-program execution statistics."""
     spec = EXPERIMENTS["figure5"]
     names = list(workloads) if workloads is not None else list(iter_workload_names())
     requests = [spec.request(w, "T4", max_instructions, scale) for w in names]
+    if options is None:
+        options = EvalOptions(
+            jobs=jobs, store=store, profiler=profiler, artifacts=artifacts
+        )
     rows = []
-    for res in run_many(
-        requests, jobs=jobs, store=store, profiler=profiler, artifacts=artifacts
-    ):
+    for res in run_many(requests, options):
         s = res.stats
         rows.append(
             Table3Row(
@@ -197,6 +200,7 @@ def run_experiment(key: str, **kwargs):
         kwargs.pop("jobs", None)
         kwargs.pop("store", None)
         kwargs.pop("artifacts", None)
+        kwargs.pop("options", None)
         return run_figure6(**kwargs)
     if key in EXPERIMENTS:
         return run_figure(key, **kwargs)

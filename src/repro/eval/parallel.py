@@ -36,10 +36,12 @@ from __future__ import annotations
 
 import math
 import os
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Iterable
 
 from repro.engine.frontend import fetch_config_key
+from repro.eval.options import EvalOptions
 from repro.eval.runner import (
     RunRequest,
     RunResult,
@@ -134,47 +136,155 @@ def _run_chunk(reqs: list[RunRequest]) -> list[RunResult]:
 # -- driver -------------------------------------------------------------------
 
 
+class ProgressError(RuntimeError):
+    """A client-supplied ``progress`` callback raised during a batch.
+
+    The batch itself was *not* abandoned: every queued request still ran
+    (or was answered from the store), fresh results were persisted, and
+    the completed result list is attached as :attr:`results` (entries
+    are ``None`` only for requests that had not finished for unrelated
+    reasons).  The callback's original exception is chained as
+    ``__cause__``.
+    """
+
+    def __init__(self, results: "list[RunResult | None]"):
+        super().__init__(
+            "progress callback raised; the batch still completed — "
+            "results attached as .results"
+        )
+        self.results = results
+
+
+class _ProgressGuard:
+    """Shields the batch from a raising progress callback.
+
+    The first exception disables further reporting and is re-raised —
+    wrapped in :class:`ProgressError` with the results attached — only
+    after every queued request has been driven to completion.
+    """
+
+    def __init__(self, callback: "Callable[[str], None] | None"):
+        self.callback = callback
+        self.error: "BaseException | None" = None
+
+    def __call__(self, message: str) -> None:
+        if self.callback is None or self.error is not None:
+            return
+        try:
+            self.callback(message)
+        except Exception as exc:
+            self.error = exc
+
+    def finish(self, results: "list[RunResult | None]") -> "list[RunResult | None]":
+        if self.error is not None:
+            raise ProgressError(results) from self.error
+        return results
+
+
+_UNSET = object()
+
+
+def _resolve_options(options, jobs, store, progress, profiler, artifacts) -> EvalOptions:
+    """Merge the ``options`` object with the deprecated keyword aliases."""
+    legacy = {
+        name: value
+        for name, value in (
+            ("jobs", jobs),
+            ("store", store),
+            ("progress", progress),
+            ("profiler", profiler),
+            ("artifacts", artifacts),
+        )
+        if value is not _UNSET
+    }
+    if isinstance(options, int):
+        # Legacy positional call: run_many(requests, 4).
+        legacy.setdefault("jobs", options)
+        options = None
+    if legacy:
+        if options is not None:
+            raise TypeError(
+                "run_many() got both an EvalOptions object and legacy "
+                f"keyword(s) {sorted(legacy)}; pass everything via options"
+            )
+        warnings.warn(
+            "run_many(jobs=/store=/progress=/profiler=/artifacts=) is "
+            "deprecated; pass run_many(requests, EvalOptions(...)) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return EvalOptions(**legacy)
+    return options if options is not None else EvalOptions()
+
+
 def run_many(
     requests: Iterable[RunRequest],
-    jobs: int | None = 1,
-    store=None,
-    progress: Callable[[str], None] | None = None,
-    profiler=None,
-    artifacts=None,
+    options: EvalOptions | None = None,
+    *,
+    jobs=_UNSET,
+    store=_UNSET,
+    progress=_UNSET,
+    profiler=_UNSET,
+    artifacts=_UNSET,
 ) -> list[RunResult]:
     """Run a batch of requests, parallel and memoized; results in order.
 
-    Parameters
-    ----------
-    jobs:
+    All knobs travel in one :class:`~repro.eval.options.EvalOptions`
+    parameter object (the individual keywords remain as deprecated
+    aliases for one release):
+
+    ``options.jobs``
         Worker processes.  ``<= 1`` runs inline in this process (still
         grouped by workload for trace reuse); ``None`` means one per
         CPU.  Scheduling is per *request*, so a single-workload grid
         still fills all ``jobs`` workers.
-    store:
+    ``options.store``
         A :class:`repro.eval.resultstore.ResultStore` (or None).  Hits
         skip simulation entirely; fresh results are persisted.
-    progress:
+    ``options.progress``
         Optional callback receiving one line per finished/cached run,
-        emitted as workers complete each request.
-    profiler:
+        emitted as workers complete each request.  A callback that
+        raises cannot abandon the batch: the remaining work still runs
+        (and is persisted), then :class:`ProgressError` is raised with
+        the results attached.
+    ``options.profiler``
         Optional :class:`repro.perf.SimProfiler` accumulated across the
         whole batch.  Profiling forces the batch inline (timings cannot
         cross process boundaries) and bypasses store reads (a cache hit
         has no host time to measure); results are still persisted.
-    artifacts:
+    ``options.artifacts``
         A :class:`repro.eval.artifacts.ArtifactStore`, a directory path
         for one, or None.  When given, the parent first makes sure every
         needed build artifact exists (capturing missing ones in
         parallel, one task per build) and workers hydrate traces and
         fetch plans from it instead of re-running the functional
         simulator.
+    ``options.server``
+        Address of a running ``python -m repro.serve`` daemon.  The
+        batch is submitted over the socket instead of simulated here;
+        the daemon's scheduler answers what it can from its stores,
+        dedupes in-flight work across all connected clients, and
+        streams results back (``jobs``/``store``/``artifacts`` are then
+        the daemon's, and a ``profiler`` is rejected — host timings
+        cannot cross the service boundary).
     """
+    opts = _resolve_options(options, jobs, store, progress, profiler, artifacts)
     reqs = list(requests)
+    if opts.server is not None:
+        if opts.profiler is not None:
+            raise ValueError("a profiler cannot cross the --server boundary")
+        from repro.serve.client import run_remote
+
+        return run_remote(reqs, opts.server, progress=opts.progress)
+
+    jobs = opts.jobs
+    store = opts.store
+    profiler = opts.profiler
+    progress = _ProgressGuard(opts.progress)
     results: list[RunResult | None] = [None] * len(reqs)
     if profiler is not None:
         jobs = 1
-    art = artifacts
+    art = opts.artifacts
     if art is not None and not hasattr(art, "load_build"):
         from repro.eval.artifacts import ArtifactStore
 
@@ -194,8 +304,7 @@ def run_many(
             hit = store.get(req)
             if hit is not None:
                 results[i] = cached[req] = hit
-                if progress is not None:
-                    progress(f"{req.name}: cached")
+                progress(f"{req.name}: cached")
                 continue
         receivers[req] = [i]
 
@@ -204,8 +313,7 @@ def run_many(
             results[i] = result
         if store is not None:
             store.put(result)
-        if progress is not None:
-            progress(f"{req.name}: done")
+        progress(f"{req.name}: done")
 
     rest = list(receivers)
     if jobs is None:
@@ -224,7 +332,7 @@ def run_many(
         finally:
             if art is not None:
                 configure_artifacts(previous)
-        return results  # type: ignore[return-value]
+        return progress.finish(results)  # type: ignore[return-value]
 
     # 3. Request-level scheduling: longest-estimated-first small chunks.
     chunks = _schedule_chunks(rest, jobs)
@@ -252,8 +360,7 @@ def run_many(
                 }
                 for future in captures:
                     future.result()
-                    if progress is not None:
-                        progress(f"{captures[future][0]}: artifacts captured")
+                    progress(f"{captures[future][0]}: artifacts captured")
 
         # 3b. Replay: workers hydrate from the artifact cache (or build
         # once per chunk) and the parent persists/report per request.
@@ -264,4 +371,4 @@ def run_many(
                 chunk = pending.pop(future)
                 for req, result in zip(chunk, future.result()):
                     finish(req, result)
-    return results  # type: ignore[return-value]
+    return progress.finish(results)  # type: ignore[return-value]

@@ -68,6 +68,7 @@ def run_variants(
     jobs: int = 1,
     store=None,
     artifacts=None,
+    options=None,
 ) -> SweepResult:
     """Run each variant over the workloads; normalize to the first.
 
@@ -105,9 +106,11 @@ def run_variants(
                 )
             )
             owners.append((label, workload))
-    for (label, workload), res in zip(
-        owners, run_many(requests, jobs=jobs, store=store, artifacts=artifacts)
-    ):
+    if options is None:
+        from repro.eval.options import EvalOptions
+
+        options = EvalOptions(jobs=jobs, store=store, artifacts=artifacts)
+    for (label, workload), res in zip(owners, run_many(requests, options)):
         results[label][workload] = res
     reference_label = variants[0][0]
     weights = {w: float(results[reference_label][w].cycles) for w in names}

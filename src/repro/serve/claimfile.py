@@ -1,0 +1,160 @@
+"""Atomic store-side claim files: cross-daemon ownership of a request.
+
+Two daemons pointed at the same store directory (the multi-host
+sharding story: one store on a shared filesystem, one daemon per host)
+must never simulate the same request twice.  The stores themselves are
+safe under concurrent writers — writes are atomic and content-addressed
+— so duplicated work is a waste, not a corruption; claims exist to
+eliminate the waste.
+
+A claim is a file created with ``O_CREAT | O_EXCL`` — the one primitive
+that is atomic on essentially every filesystem — under::
+
+    <store root>/claims/<request key>.claim
+
+holding the owner id and a wall-clock timestamp.  Exactly one creator
+wins; everyone else polls the result store until the winner's result
+lands.  A daemon that dies mid-simulation leaves its claim behind, so
+claims expire: once older than ``ttl`` seconds they may be broken and
+re-taken (:meth:`ClaimBoard.steal_if_stale`).  Breaking a *live* claim
+is impossible as long as simulations finish within the TTL — size it
+generously; the cost of a wrong steal is one duplicated simulation,
+absorbed by the store's atomic writes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+import uuid
+from pathlib import Path
+
+from repro.eval.runner import RunRequest
+
+#: Default claim expiry: far above any single simulation's wall time.
+DEFAULT_TTL = 600.0
+
+
+class ClaimBoard:
+    """Claim-file directory shared by every daemon over one store."""
+
+    def __init__(
+        self,
+        root: "str | Path",
+        owner: "str | None" = None,
+        ttl: float = DEFAULT_TTL,
+    ):
+        self.root = Path(root)
+        self.owner = owner or f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
+        self.ttl = ttl
+
+    def path_for(self, req: RunRequest) -> Path:
+        return self.root / f"{req.key()}.claim"
+
+    def try_claim(self, req: RunRequest) -> bool:
+        """Atomically claim ``req``; False if someone else holds it."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"owner": self.owner, "time": time.time()})
+        try:
+            fd = os.open(self.path_for(req), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, payload.encode())
+        finally:
+            os.close(fd)
+        return True
+
+    def holder(self, req: RunRequest) -> "dict | None":
+        """The claim record for ``req`` (owner, time), or None."""
+        try:
+            return json.loads(self.path_for(req).read_text())
+        except (OSError, ValueError):
+            return None
+
+    def is_stale(self, req: RunRequest) -> bool:
+        """True if the claim exists but is older than the TTL.
+
+        An unreadable/empty claim (its writer died between create and
+        write) counts as stale once the file *mtime* exceeds the TTL.
+        """
+        path = self.path_for(req)
+        record = self.holder(req)
+        if record is not None and isinstance(record.get("time"), (int, float)):
+            return time.time() - record["time"] > self.ttl
+        try:
+            return time.time() - path.stat().st_mtime > self.ttl
+        except OSError:
+            return False  # claim vanished: not stale, just gone
+
+    def steal_if_stale(self, req: RunRequest) -> bool:
+        """Break an expired claim and take it; True if we now own it."""
+        if not self.is_stale(req):
+            return False
+        try:
+            os.unlink(self.path_for(req))
+        except OSError:
+            pass  # raced another stealer; fall through to the claim race
+        return self.try_claim(req)
+
+    def _owner_alive_locally(self, owner: str) -> "bool | None":
+        """Is ``owner`` a live process on *this* host?  None if unknowable.
+
+        Owners default to ``host:pid:uuid``; foreign hosts and custom
+        owner strings cannot be checked and return None.
+        """
+        parts = owner.split(":")
+        if len(parts) != 3 or parts[0] != socket.gethostname():
+            return None
+        try:
+            pid = int(parts[1])
+        except ValueError:
+            return None
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:
+            return True
+        return True
+
+    def sweep_dead_owners(self) -> int:
+        """Drop claims whose owner is a dead process on this host.
+
+        A SIGKILLed daemon leaves its claims behind; without this a
+        restarted daemon on the same host would treat them as a live
+        peer and poll the store for the full TTL.  Claims from other
+        hosts (unverifiable) are left to the TTL.  Returns the number
+        removed.
+        """
+        if not self.root.exists():
+            return 0
+        swept = 0
+        for path in self.root.glob("*.claim"):
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            owner = record.get("owner")
+            if isinstance(owner, str) and self._owner_alive_locally(owner) is False:
+                try:
+                    os.unlink(path)
+                    swept += 1
+                except OSError:
+                    pass
+        return swept
+
+    def release(self, req: RunRequest) -> None:
+        """Drop our claim on ``req``; a foreign claim is left alone."""
+        record = self.holder(req)
+        if record is not None and record.get("owner") != self.owner:
+            return
+        try:
+            os.unlink(self.path_for(req))
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.claim")) if self.root.exists() else 0

@@ -4,6 +4,7 @@ import pytest
 
 from repro.engine.frontend import build_fetch_plan, fetch_config_key
 from repro.eval.artifacts import ArtifactStore
+from repro.eval.options import EvalOptions
 from repro.eval.parallel import _build_key, _schedule_chunks, run_many
 from repro.eval.runner import (
     RunRequest,
@@ -159,20 +160,20 @@ class TestRunManyWithArtifacts:
     ]
 
     def test_parallel_single_workload_matches_serial(self, tmp_path):
-        serial = run_many(self.GRID, jobs=1)
-        parallel = run_many(self.GRID, jobs=2, artifacts=tmp_path)
+        serial = run_many(self.GRID, EvalOptions(jobs=1))
+        parallel = run_many(self.GRID, EvalOptions(jobs=2, artifacts=tmp_path))
         assert [r.to_dict() for r in parallel] == [r.to_dict() for r in serial]
 
     def test_warm_artifact_rerun_matches(self, tmp_path):
         store = ArtifactStore(tmp_path)
-        first = run_many(self.GRID, jobs=2, artifacts=store)
+        first = run_many(self.GRID, EvalOptions(jobs=2, artifacts=store))
         # Every artifact now exists: the capture phase is skipped.
-        again = run_many(self.GRID, jobs=2, artifacts=ArtifactStore(tmp_path))
+        again = run_many(self.GRID, EvalOptions(jobs=2, artifacts=ArtifactStore(tmp_path)))
         assert [r.to_dict() for r in again] == [r.to_dict() for r in first]
 
     def test_progress_reported_per_request(self, tmp_path):
         lines = []
-        run_many(self.GRID, jobs=2, artifacts=tmp_path, progress=lines.append)
+        run_many(self.GRID, EvalOptions(jobs=2, artifacts=tmp_path, progress=lines.append))
         done = [line for line in lines if line.endswith(": done")]
         assert len(done) == len(self.GRID)
         assert {line.split(":")[0] for line in done} == {r.name for r in self.GRID}
@@ -183,8 +184,8 @@ class TestRunManyWithArtifacts:
         clear_build_cache()  # force a real build so the write-through fires
         store = ArtifactStore(tmp_path)
         before = _CACHE.artifacts
-        results = run_many(self.GRID[:2], jobs=1, artifacts=store)
+        results = run_many(self.GRID[:2], EvalOptions(jobs=1, artifacts=store))
         assert _CACHE.artifacts is before, "inline run must restore the attachment"
         assert store.has_build(_build_key(self.GRID[0]))
-        serial = run_many(self.GRID[:2], jobs=1)
+        serial = run_many(self.GRID[:2], EvalOptions(jobs=1))
         assert [r.to_dict() for r in results] == [r.to_dict() for r in serial]

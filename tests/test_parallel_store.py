@@ -5,6 +5,7 @@ import json
 
 import pytest
 
+from repro.eval.options import EvalOptions
 from repro.eval.parallel import run_many
 from repro.eval.resultstore import ResultStore, code_fingerprint
 from repro.eval.runner import RunRequest, RunResult, _BuildCache, run_one, simulate
@@ -94,17 +95,17 @@ class TestRunResult:
 
 class TestParallelDeterminism:
     def test_parallel_matches_serial(self):
-        serial = run_many(SMALL_GRID, jobs=1)
-        parallel = run_many(SMALL_GRID, jobs=2)
+        serial = run_many(SMALL_GRID, EvalOptions(jobs=1))
+        parallel = run_many(SMALL_GRID, EvalOptions(jobs=2))
         assert [r.to_dict() for r in serial] == [r.to_dict() for r in parallel]
 
     def test_results_in_input_order(self):
-        results = run_many(SMALL_GRID, jobs=2)
+        results = run_many(SMALL_GRID, EvalOptions(jobs=2))
         assert [r.request for r in results] == SMALL_GRID
 
     def test_duplicate_requests_deduplicated(self):
         req = RunRequest(workload="espresso", design="T4", **FAST)
-        a, b = run_many([req, req], jobs=1)
+        a, b = run_many([req, req], EvalOptions(jobs=1))
         assert a is b
 
 
@@ -127,10 +128,10 @@ class TestResultStore:
 
     def test_run_many_warm_rerun_skips_simulation(self, tmp_path):
         cold = ResultStore(tmp_path)
-        run_many(SMALL_GRID, jobs=1, store=cold)
+        run_many(SMALL_GRID, EvalOptions(jobs=1, store=cold))
         assert cold.stats.puts == len(SMALL_GRID)
         warm = ResultStore(tmp_path)
-        results = run_many(SMALL_GRID, jobs=1, store=warm)
+        results = run_many(SMALL_GRID, EvalOptions(jobs=1, store=warm))
         assert warm.stats.hits == len(SMALL_GRID)
         assert warm.stats.misses == 0 and warm.stats.puts == 0
         assert all(r is not None for r in results)

@@ -1,0 +1,492 @@
+"""Tests of the evaluation service (repro.serve) and the options API.
+
+Covers the tentpole acceptance criteria: in-flight dedup across
+concurrent clients, SIGKILL + restart recovery (completed work
+re-served from the store, only in-flight work recomputed), claim-file
+contention between two schedulers over one store directory, and
+bit-identity of served results against the local engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.eval.options import (
+    DEFAULT_SERVER_ADDRESS,
+    SERVER_ENV,
+    EvalOptions,
+    add_eval_args,
+    default_server_address,
+)
+from repro.eval.parallel import ProgressError, run_many
+from repro.eval.resultstore import ResultStore
+from repro.eval.runner import RunRequest, run_one
+from repro.serve import protocol
+from repro.serve.claimfile import ClaimBoard
+from repro.serve.client import ServeClient, ServeError, run_remote, server_info, shutdown_server
+from repro.serve.journal import JobJournal
+from repro.serve.scheduler import Scheduler
+from repro.serve.__main__ import build_server
+
+FAST = dict(max_instructions=2_000)
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def _req(design: str, workload: str = "espresso") -> RunRequest:
+    return RunRequest(workload=workload, design=design, **FAST)
+
+
+def _payload(result) -> dict:
+    """Everything the simulation produced: request + stats.
+
+    Provenance is bookkeeping, not simulation output — a store-loaded
+    result additionally records the code fingerprint that cached it —
+    so bit-identity is asserted on the simulated payload.
+    """
+    d = result.to_dict()
+    d.pop("provenance", None)
+    return d
+
+
+# -- protocol -----------------------------------------------------------------
+
+
+class TestParseAddress:
+    def test_unix_prefix(self):
+        assert protocol.parse_address("unix:/tmp/x.sock") == ("unix", "/tmp/x.sock")
+
+    def test_bare_path(self):
+        assert protocol.parse_address("/tmp/x.sock") == ("unix", "/tmp/x.sock")
+
+    def test_tcp(self):
+        assert protocol.parse_address("127.0.0.1:9100") == ("tcp", "127.0.0.1", 9100)
+        assert protocol.parse_address("tcp:myhost:9100") == ("tcp", "myhost", 9100)
+
+    def test_port_only_defaults_host(self):
+        assert protocol.parse_address(":9100") == ("tcp", "127.0.0.1", 9100)
+
+    def test_garbage_port_raises(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_address("host:not-a-port")
+
+
+# -- journal ------------------------------------------------------------------
+
+
+class TestJobJournal:
+    def test_replay_is_queued_minus_done(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        a, b, c = _req("T4"), _req("T1"), _req("M8")
+        for req in (a, b, c):
+            journal.record_queued(req)
+        journal.record_done(b)
+        outstanding = journal.replay()
+        assert [r.key() for r in outstanding] == [a.key(), c.key()]
+
+    def test_truncated_tail_line_is_skipped(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        journal.record_queued(_req("T4"))
+        with open(journal.path, "a", encoding="utf-8") as fh:
+            fh.write('{"event": "queued", "key": "trunc')  # crash mid-write
+        assert [r.key() for r in journal.replay()] == [_req("T4").key()]
+
+    def test_compact_rewrites_to_outstanding(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        a, b = _req("T4"), _req("T1")
+        journal.record_queued(a)
+        journal.record_queued(b)
+        journal.record_done(a)
+        journal.compact(journal.replay())
+        assert len(journal.path.read_text().splitlines()) == 1
+        assert [r.key() for r in journal.replay()] == [b.key()]
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        assert JobJournal(tmp_path / "absent.jsonl").replay() == []
+
+
+# -- claim files --------------------------------------------------------------
+
+
+class TestClaimBoard:
+    def test_exactly_one_claimer_wins(self, tmp_path):
+        one = ClaimBoard(tmp_path, owner="one")
+        two = ClaimBoard(tmp_path, owner="two")
+        req = _req("T4")
+        assert one.try_claim(req)
+        assert not two.try_claim(req)
+        assert two.holder(req)["owner"] == "one"
+
+    def test_release_is_owner_checked(self, tmp_path):
+        one = ClaimBoard(tmp_path, owner="one")
+        two = ClaimBoard(tmp_path, owner="two")
+        req = _req("T4")
+        one.try_claim(req)
+        two.release(req)  # not ours: must be left alone
+        assert one.holder(req) is not None
+        one.release(req)
+        assert one.holder(req) is None
+        assert len(one) == 0
+
+    def test_stale_claim_is_stolen(self, tmp_path):
+        dead = ClaimBoard(tmp_path, owner="dead", ttl=0.01)
+        live = ClaimBoard(tmp_path, owner="live", ttl=0.01)
+        req = _req("T4")
+        dead.try_claim(req)
+        time.sleep(0.05)
+        assert live.is_stale(req)
+        assert live.steal_if_stale(req)
+        assert live.holder(req)["owner"] == "live"
+
+    def test_fresh_claim_is_not_stolen(self, tmp_path):
+        one = ClaimBoard(tmp_path, owner="one", ttl=600)
+        two = ClaimBoard(tmp_path, owner="two", ttl=600)
+        req = _req("T4")
+        one.try_claim(req)
+        assert not two.steal_if_stale(req)
+
+    def test_sweep_drops_dead_local_owners(self, tmp_path):
+        import socket as socketlib
+
+        # A pid that cannot exist stands in for a SIGKILLed daemon.
+        dead = ClaimBoard(tmp_path, owner=f"{socketlib.gethostname()}:999999999:aa")
+        dead.try_claim(_req("T4"))
+        live = ClaimBoard(tmp_path)  # default owner: this live process
+        live.try_claim(_req("T1"))
+        foreign = ClaimBoard(tmp_path, owner="elsewhere:1:bb")
+        foreign.try_claim(_req("M8"))
+        assert ClaimBoard(tmp_path).sweep_dead_owners() == 1
+        assert live.holder(_req("T4")) is None  # dead claim gone
+        assert live.holder(_req("T1")) is not None  # live claim kept
+        assert live.holder(_req("M8")) is not None  # foreign claim kept
+
+
+# -- shared options -----------------------------------------------------------
+
+
+def _parse(argv, **flags):
+    import argparse
+
+    parser = argparse.ArgumentParser()
+    add_eval_args(parser, **flags)
+    return parser.parse_args(argv)
+
+
+class TestEvalOptions:
+    def test_defaults(self):
+        opts = EvalOptions.from_args(_parse([]))
+        assert opts.jobs == 1 and opts.server is None and opts.artifacts is None
+        assert opts.store is not None  # caching is on by default
+
+    def test_jobs_zero_means_per_cpu(self):
+        assert EvalOptions.from_args(_parse(["--jobs", "0"])).jobs is None
+
+    def test_no_cache_disables_store(self):
+        assert EvalOptions.from_args(_parse(["--no-cache"])).store is None
+
+    def test_store_flag_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path / "env"))
+        opts = EvalOptions.from_args(_parse(["--store", str(tmp_path / "flag")]))
+        assert opts.store.root == tmp_path / "flag"
+
+    def test_store_env_beats_builtin(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path / "env"))
+        opts = EvalOptions.from_args(_parse([]))
+        assert opts.store.root == tmp_path / "env"
+
+    def test_server_flag_value_beats_env(self, monkeypatch):
+        monkeypatch.setenv(SERVER_ENV, "unix:/tmp/env.sock")
+        opts = EvalOptions.from_args(_parse(["--server", "unix:/tmp/flag.sock"], server=True))
+        assert opts.server == "unix:/tmp/flag.sock"
+
+    def test_bare_server_flag_falls_back_to_env_then_default(self, monkeypatch):
+        monkeypatch.setenv(SERVER_ENV, "unix:/tmp/env.sock")
+        assert EvalOptions.from_args(_parse(["--server"], server=True)).server == "unix:/tmp/env.sock"
+        monkeypatch.delenv(SERVER_ENV)
+        assert default_server_address() == DEFAULT_SERVER_ADDRESS
+        opts = EvalOptions.from_args(_parse(["--server"], server=True))
+        assert opts.server == DEFAULT_SERVER_ADDRESS
+
+    def test_server_mode_detaches_local_stores(self, tmp_path):
+        opts = EvalOptions.from_args(
+            _parse(["--server", "unix:/tmp/s.sock", "--store", str(tmp_path)], server=True)
+        )
+        assert opts.store is None and opts.artifacts is None
+
+    def test_replace(self):
+        opts = EvalOptions(jobs=2)
+        assert opts.replace(jobs=4).jobs == 4 and opts.jobs == 2
+
+
+# -- run_many API redesign ----------------------------------------------------
+
+
+class TestRunManyOptions:
+    def test_legacy_keywords_warn_but_work(self):
+        with pytest.warns(DeprecationWarning):
+            results = run_many([_req("T4")], jobs=1)
+        assert results[0].to_dict() == run_one(_req("T4")).to_dict()
+
+    def test_legacy_positional_jobs_warns(self):
+        with pytest.warns(DeprecationWarning):
+            results = run_many([_req("T4")], 1)
+        assert len(results) == 1
+
+    def test_options_and_legacy_keywords_conflict(self):
+        with pytest.raises(TypeError):
+            run_many([_req("T4")], EvalOptions(jobs=1), jobs=2)
+
+    def test_profiler_cannot_cross_server(self):
+        with pytest.raises(ValueError):
+            run_many([_req("T4")], EvalOptions(server="unix:/tmp/x.sock", profiler=object()))
+
+
+class TestProgressError:
+    def test_raising_callback_does_not_abandon_the_batch(self, tmp_path):
+        store = ResultStore(tmp_path)
+        grid = [_req("T4"), _req("T1")]
+
+        def bomb(msg):
+            raise RuntimeError("progress exploded")
+
+        with pytest.raises(ProgressError) as info:
+            run_many(grid, EvalOptions(jobs=1, store=store, progress=bomb))
+        # Every queued request still ran and was persisted.
+        assert all(r is not None for r in info.value.results)
+        assert store.stats.puts == len(grid)
+        assert isinstance(info.value.__cause__, RuntimeError)
+
+    def test_parallel_path_also_survives(self):
+        grid = [_req("T4"), _req("T1"), _req("M8")]
+        calls = []
+
+        def bomb(msg):
+            calls.append(msg)
+            raise RuntimeError("boom")
+
+        with pytest.raises(ProgressError) as info:
+            run_many(grid, EvalOptions(jobs=2, progress=bomb))
+        assert [r.request for r in info.value.results] == grid
+        assert len(calls) == 1  # disabled after the first raise
+
+
+# -- scheduler + daemon -------------------------------------------------------
+
+
+class TestScheduler:
+    def test_journal_recovery_resimulates_inflight(self, tmp_path):
+        req = _req("T4")
+        JobJournal(tmp_path / "journal.jsonl").record_queued(req)
+
+        async def main():
+            sched = Scheduler(
+                store=ResultStore(tmp_path / "store"),
+                journal=JobJournal(tmp_path / "journal.jsonl"),
+                jobs=1,
+            )
+            recovered = await sched.start()
+            assert recovered == 1 and sched.stats.recovered == 1
+            await sched.drain()
+            await sched.stop()
+            assert sched.stats.simulated == 1
+
+        asyncio.run(main())
+        assert ResultStore(tmp_path / "store").get(req) is not None
+
+    def test_claim_contention_two_schedulers_one_store(self, tmp_path):
+        grid = [_req(d) for d in ("T4", "T1", "M8", "I4")]
+
+        async def main():
+            one = Scheduler(
+                store=ResultStore(tmp_path),
+                claims=ClaimBoard(tmp_path / "claims", owner="one"),
+                jobs=2,
+                poll_interval=0.05,
+            )
+            two = Scheduler(
+                store=ResultStore(tmp_path),
+                claims=ClaimBoard(tmp_path / "claims", owner="two"),
+                jobs=2,
+                poll_interval=0.05,
+            )
+            await one.start()
+            await two.start()
+            jobs1 = one.submit(grid)
+            jobs2 = two.submit(grid)
+            res1 = await asyncio.gather(*(j.future for j in jobs1))
+            res2 = await asyncio.gather(*(j.future for j in jobs2))
+            await one.stop()
+            await two.stop()
+            return one, two, res1, res2
+
+        one, two, res1, res2 = asyncio.run(main())
+        # The claim board made exactly one daemon simulate each request.
+        assert one.stats.simulated + two.stats.simulated == len(grid)
+        assert one.stats.claims_stolen == two.stats.claims_stolen == 0
+        d1 = [_payload(r) for r, _source in res1]
+        d2 = [_payload(r) for r, _source in res2]
+        assert d1 == d2
+
+
+class TestEvalServer:
+    def test_inflight_dedup_across_two_clients(self, tmp_path):
+        grid = [_req(d) for d in ("T4", "T1", "M8")]
+
+        async def main():
+            addr = f"unix:{tmp_path}/s.sock"
+            server = build_server(
+                addr, EvalOptions(jobs=2, store=ResultStore(tmp_path / "store"))
+            )
+            await server.start()
+            try:
+                one = await ServeClient.connect(addr, retry_for=5)
+                two = await ServeClient.connect(addr, retry_for=5)
+                res1, res2 = await asyncio.gather(
+                    one.results(grid), two.results(grid)
+                )
+                info = await one.info()
+                await one.close()
+                await two.close()
+            finally:
+                await server.stop()
+            return res1, res2, info
+
+        res1, res2, info = asyncio.run(main())
+        stats = info["scheduler"]
+        # One simulation per distinct request, no matter how many
+        # clients asked; the second client's submissions were answered
+        # in-flight (dedup) or from the store, never by a new run.
+        assert stats["simulated"] == len(grid)
+        assert stats["deduped"] + stats["store_hits"] == len(grid)
+        d1 = [_payload(r) for r in res1]
+        d2 = [_payload(r) for r in res2]
+        assert d1 == d2
+        assert d1 == [_payload(run_one(r)) for r in grid]
+
+    def test_duplicate_requests_within_one_batch(self, tmp_path):
+        req = _req("T4")
+
+        async def main():
+            addr = f"unix:{tmp_path}/s.sock"
+            server = build_server(addr, EvalOptions(jobs=1, store=None))
+            await server.start()
+            try:
+                client = await ServeClient.connect(addr, retry_for=5)
+                results = await client.results([req, req, req])
+                await client.close()
+            finally:
+                await server.stop()
+            return results, server.scheduler.stats
+
+        results, stats = asyncio.run(main())
+        assert stats.simulated == 1 and stats.deduped == 2
+        assert len({id(r) for r in results}) >= 1
+        assert results[0].to_dict() == results[2].to_dict()
+
+    def test_bad_batch_reports_error_not_disconnect(self, tmp_path):
+        async def main():
+            addr = f"unix:{tmp_path}/s.sock"
+            server = build_server(addr, EvalOptions(jobs=1, store=None))
+            await server.start()
+            try:
+                client = await ServeClient.connect(addr, retry_for=5)
+                await protocol.write_message(
+                    client._writer, client._lock,
+                    op="submit", id="bad-batch", requests=[{"nonsense": True}],
+                )
+                # The connection survives; a well-formed batch still works.
+                results = await client.results([_req("T4")])
+                await client.close()
+            finally:
+                await server.stop()
+            return results
+
+        results = asyncio.run(main())
+        assert results[0].request == _req("T4")
+
+
+def _spawn_daemon(addr: str, store: Path, artifacts: Path, jobs: int = 2):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.serve",
+            "--listen", addr,
+            "--store", str(store),
+            "--artifacts", str(artifacts),
+            "--jobs", str(jobs),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+class TestKillRecovery:
+    """The acceptance scenario: SIGKILL mid-grid, restart, finish.
+
+    A 13-design Figure-5 slice is submitted through the client API; the
+    daemon is killed after the first streamed result, restarted over the
+    same store, and must finish the grid re-serving the completed
+    requests as store hits — recomputing only what was in flight.
+    """
+
+    def test_sigkill_restart_reserves_completed_work(self, tmp_path):
+        from repro.tlb.factory import DESIGN_MNEMONICS
+
+        grid = [_req(d) for d in DESIGN_MNEMONICS]
+        addr = f"unix:{tmp_path}/s.sock"
+        store_dir = tmp_path / "store"
+        art_dir = tmp_path / "artifacts"
+
+        daemon = _spawn_daemon(addr, store_dir, art_dir)
+        try:
+            async def until_first_result():
+                client = await ServeClient.connect(addr, retry_for=30)
+                batch = await client.submit(grid)
+                try:
+                    async for message in client.stream(batch):
+                        if message["op"] == "result":
+                            os.kill(daemon.pid, signal.SIGKILL)
+                except ServeError:
+                    pass  # connection died with the daemon — expected
+                await client.close()
+
+            asyncio.run(until_first_result())
+            daemon.wait(timeout=15)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+        persisted = len(ResultStore(store_dir))
+        assert 1 <= persisted < len(grid), "the kill must land mid-grid"
+
+        restarted = _spawn_daemon(addr, store_dir, art_dir)
+        try:
+            # The resubmitted grid goes through the public client API
+            # (run_many with a server address — the facade route).
+            results = run_many(grid, EvalOptions(server=addr))
+            info = server_info(addr)
+            shutdown_server(addr)
+            restarted.wait(timeout=15)
+        finally:
+            if restarted.poll() is None:
+                restarted.kill()
+                restarted.wait()
+
+        stats = info["scheduler"]
+        # Only the work in flight at the kill was recomputed ...
+        assert stats["simulated"] == len(grid) - persisted
+        # ... and everything completed before it was a store hit.
+        assert stats["store_hits"] >= persisted
+        # Served results are bit-identical to the local engine.
+        reference = run_many(grid, EvalOptions(jobs=1))
+        assert [_payload(r) for r in results] == [_payload(r) for r in reference]
