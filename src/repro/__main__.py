@@ -17,6 +17,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 
 from repro.analysis.demand import demand_profile
 from repro.analysis.reusedist import StackDistanceAnalyzer
@@ -58,6 +59,7 @@ def _cmd_run(args) -> int:
         fp_regs=args.regs,
         max_instructions=args.insts,
         **({"model_itlb": True} if args.itlb else {}),
+        **({"kernel": True} if args.kernel or os.environ.get("REPRO_KERNEL") else {}),
     )
     profiler = None
     if args.profile:

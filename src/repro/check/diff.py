@@ -18,10 +18,16 @@ twin; this module runs both sides and diffs the outcome:
   timing-vs-functional counter cross-checks (committed instructions,
   memory references, and control transfers must match the trace the
   functional simulator produced).
+* **kernel** — the compiled trace kernel (:mod:`repro.kernel`) vs. the
+  interpreted machine, under both the event-driven and the plain loop,
+  compared over the full stats dataclass; divergences are located by
+  lockstep timeline comparison exactly like the loops check.
 
 The entry point is :func:`run_differential`, which returns a
 :class:`DiffReport`; the fuzz harness (:mod:`repro.check.fuzz`) drives
-it across random configurations.
+it across random configurations, and ``python -m repro.check.diff``
+runs a chosen check subset over a workload × design grid (CI's
+``kernel-smoke`` job and the Figure 5 acceptance sweep).
 """
 
 from __future__ import annotations
@@ -37,9 +43,10 @@ from repro.eval.artifacts import ArtifactStore
 from repro.eval.runner import RunRequest, _CACHE, simulate
 from repro.func.executor import run_program
 from repro.func.tracefile import decode_program, encode_program
+from repro.kernel import capture_kernel_timelines
 
 #: The redundant paths one differential run exercises.
-CHECKS = ("loops", "artifacts", "functional")
+CHECKS = ("loops", "artifacts", "functional", "kernel")
 
 #: Instructions captured per side when locating a loop divergence.
 PIPEVIEW_LIMIT = 160
@@ -313,12 +320,199 @@ def _check_functional(req: RunRequest, timing, mismatches: list[Mismatch]) -> No
         )
 
 
+# ---------------------------------------------------------------------------
+# Check 4: compiled trace kernel vs. interpreted machine.
+# ---------------------------------------------------------------------------
+
+
+def _first_kernel_divergence(
+    req: RunRequest, event_driven: bool, limit: int
+) -> tuple[int | None, str]:
+    """Locate a kernel divergence by lockstep timeline comparison."""
+    trace = _CACHE.get_trace(
+        req.workload, req.int_regs, req.fp_regs, req.scale, req.max_instructions
+    )
+    config = dataclasses.replace(
+        req.machine_config(), event_driven=event_driven, sanity=False, kernel=False
+    )
+    interp = PipelineTrace.capture(
+        config, req.make_mech(config.page_shift), trace, limit=limit
+    )
+    kern_tls, kern_result = capture_kernel_timelines(
+        config, req.make_mech(config.page_shift), trace, limit=limit
+    )
+    for i, (k, s) in enumerate(zip(kern_tls, interp.timelines)):
+        k_stages = (k.dispatch, k.issue, k.complete, k.commit)
+        s_stages = (s.dispatch, s.issue, s.complete, s.commit)
+        if k_stages == s_stages:
+            continue
+        cycle = min(
+            c
+            for ka, sa in zip(k_stages, s_stages)
+            if ka != sa
+            for c in (ka, sa)
+            if c >= 0
+        )
+        lo, hi = max(0, i - 3), i + 4
+        excerpt = (
+            f"  first divergent instruction: #{k.seq} {k.text}\n"
+            "  kernel:\n"
+            + _indent(PipelineTrace(kern_tls[lo:hi], kern_result).render())
+            + "\n  interpreted:\n"
+            + _indent(PipelineTrace(interp.timelines[lo:hi], interp.result).render())
+        )
+        return cycle, excerpt
+    return None, (
+        f"  (stage timelines agree over the first {limit} instructions; "
+        "the divergence lies beyond the pipeview window)"
+    )
+
+
+def _check_kernel(req: RunRequest, mismatches: list[Mismatch], pipeview_limit: int):
+    """The compiled kernel must be bit-identical to the interpreted
+    machine under both cycle loops.
+
+    ``sanity=False`` is forced on every side: a kernel request carrying
+    sanity hooks falls back to the interpreted machine by design, which
+    would silently compare the interpreter against itself.
+    """
+    base = simulate(
+        request_with_config(req, kernel=False, sanity=False, event_driven=True)
+    )
+    a = _stats_dict(base.stats)
+    for event_driven in (True, False):
+        loop = "event-driven" if event_driven else "plain"
+        kern = simulate(
+            request_with_config(
+                req, kernel=True, sanity=False, event_driven=event_driven
+            )
+        )
+        b = _stats_dict(kern.stats)
+        if a == b:
+            continue
+        cycle, excerpt = _first_kernel_divergence(req, event_driven, pipeview_limit)
+        mismatches.append(
+            Mismatch(
+                "kernel",
+                f"compiled kernel ({loop} loop) diverges from the "
+                "interpreted machine: " + _diff_stats(b, a, "kernel", "interpreted"),
+                cycle=cycle,
+                excerpt=excerpt,
+            )
+        )
+
+
 def run_differential(
-    req: RunRequest, pipeview_limit: int = PIPEVIEW_LIMIT
+    req: RunRequest,
+    pipeview_limit: int = PIPEVIEW_LIMIT,
+    checks: "tuple[str, ...]" = CHECKS,
 ) -> DiffReport:
-    """Run every redundant-path check for one request."""
-    report = DiffReport(request=req)
-    timing = _check_loops(req, report.mismatches, pipeview_limit)
-    _check_artifacts(req, report.mismatches)
-    _check_functional(req, timing, report.mismatches)
+    """Run the selected redundant-path checks for one request."""
+    unknown = set(checks) - set(CHECKS)
+    if unknown:
+        raise ValueError(f"unknown check(s): {sorted(unknown)}")
+    report = DiffReport(request=req, checks=tuple(checks))
+    timing = None
+    if "loops" in checks or "functional" in checks:
+        timing = _check_loops(req, report.mismatches, pipeview_limit)
+        if "loops" not in checks:
+            # Only ran to obtain the timing result; drop loop findings.
+            report.mismatches = [m for m in report.mismatches if m.check != "loops"]
+    if "artifacts" in checks:
+        _check_artifacts(req, report.mismatches)
+    if "functional" in checks:
+        _check_functional(req, timing, report.mismatches)
+    if "kernel" in checks:
+        _check_kernel(req, report.mismatches, pipeview_limit)
     return report
+
+
+# ---------------------------------------------------------------------------
+# CLI: differential sweep over a workload × design grid.
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    """``python -m repro.check.diff`` — grid differential sweep.
+
+    Runs the selected checks for every workload × design × issue-model
+    combination and exits non-zero on the first batch containing a
+    mismatch.  CI's kernel-smoke job and the Figure 5 acceptance sweep
+    both drive this entry point.
+    """
+    import argparse
+
+    from repro.tlb.factory import DESIGN_MNEMONICS
+    from repro.workloads import iter_workload_names
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check.diff", description=main.__doc__
+    )
+    parser.add_argument(
+        "--checks",
+        default=",".join(CHECKS),
+        help=f"comma-separated subset of {','.join(CHECKS)} (default: all)",
+    )
+    parser.add_argument(
+        "--workloads",
+        default="compress,xlisp",
+        help="comma-separated workload names, or 'all' (default: compress,xlisp)",
+    )
+    parser.add_argument(
+        "--designs",
+        default="T4,T1,I4,PB1",
+        help="comma-separated TLB design mnemonics, or 'all' "
+        "(default: T4,T1,I4,PB1)",
+    )
+    parser.add_argument(
+        "--issue-models",
+        default="ooo,inorder",
+        help="comma-separated from ooo,inorder (default: both)",
+    )
+    parser.add_argument(
+        "--insts",
+        type=int,
+        default=5000,
+        metavar="N",
+        help="instructions simulated per run (default: 5000)",
+    )
+    args = parser.parse_args(argv)
+
+    checks = tuple(c for c in args.checks.split(",") if c)
+    workloads = (
+        sorted(iter_workload_names())
+        if args.workloads == "all"
+        else args.workloads.split(",")
+    )
+    designs = (
+        list(DESIGN_MNEMONICS) if args.designs == "all" else args.designs.split(",")
+    )
+    issue_models = args.issue_models.split(",")
+    for model in issue_models:
+        if model not in ("ooo", "inorder"):
+            parser.error(f"unknown issue model: {model}")
+
+    failures = 0
+    total = 0
+    for workload in workloads:
+        for design in designs:
+            for model in issue_models:
+                req = RunRequest(
+                    workload=workload,
+                    design=design,
+                    issue_model=model,
+                    max_instructions=args.insts,
+                )
+                report = run_differential(req, checks=checks)
+                total += 1
+                print(f"[{model}] {report.render()}")
+                if not report.ok:
+                    failures += 1
+    verdict = "OK" if not failures else "FAIL"
+    print(f"{verdict}: {total - failures}/{total} grid points clean "
+          f"({','.join(checks)})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

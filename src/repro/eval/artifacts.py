@@ -41,6 +41,7 @@ from repro.engine.frontend import FetchPlan, decode_fetch_plan, encode_fetch_pla
 from repro.eval.resultstore import code_fingerprint
 from repro.func.dyninst import DynInst
 from repro.func.tracefile import (
+    SECTION_KERNEL,
     SECTION_PLAN,
     SECTION_PROGRAM,
     SECTION_TRACE,
@@ -53,6 +54,11 @@ from repro.func.tracefile import (
     write_container,
 )
 from repro.isa.program import Program
+from repro.kernel.encode import (
+    EncodedTrace,
+    decode_kernel_section,
+    encode_kernel_section,
+)
 
 #: Build axes: (workload, int_regs, fp_regs, scale, max_instructions).
 BuildAxes = tuple
@@ -130,6 +136,48 @@ class ArtifactStore:
                 SECTION_TRACE: encode_trace(trace, len(program)),
             },
         )
+
+    # -- kernel artifacts -----------------------------------------------------
+
+    def load_kernel(self, axes: BuildAxes, trace_len: int) -> "EncodedTrace | None":
+        """Hydrate the encoded kernel arrays for ``axes``, or None on a miss.
+
+        The ``KERN`` section rides in the build container (the encoding
+        is design-independent, a pure function of the trace), so a build
+        saved before the kernel existed simply misses here and the
+        caller re-encodes.  A count mismatch against ``trace_len`` also
+        reads as a miss — it means the section belongs to a different
+        trace truncation than the one in hand.
+        """
+        path = self.build_path(axes)
+        try:
+            sections = read_container(path)
+            encoded = decode_kernel_section(sections[SECTION_KERNEL])
+        except (OSError, KeyError, TraceFileError):
+            self.stats.misses += 1
+            return None
+        if encoded.n != trace_len:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return encoded
+
+    def save_kernel(self, axes: BuildAxes, encoded: EncodedTrace) -> "Path | None":
+        """Merge the encoded kernel arrays into the build container.
+
+        Reads the existing container (to preserve its program/trace —
+        and any sections this build doesn't know about), sets ``KERN``,
+        and rewrites atomically.  If no build container exists yet there
+        is nothing to attach to; returns None and the caller's in-memory
+        encoding is simply not persisted.
+        """
+        path = self.build_path(axes)
+        try:
+            sections = read_container(path)
+        except (OSError, TraceFileError):
+            return None
+        sections[SECTION_KERNEL] = encode_kernel_section(encoded)
+        return self._write(path, sections)
 
     # -- fetch-plan artifacts -------------------------------------------------
 

@@ -66,6 +66,10 @@ class EvalOptions:
     profiler: Any = None
     #: Address of a running ``python -m repro.serve`` daemon, or None.
     server: "str | None" = None
+    #: Run every request through the compiled trace kernel
+    #: (``MachineConfig.kernel``); results are bit-identical, only host
+    #: throughput changes.
+    kernel: bool = False
 
     def replace(self, **changes) -> "EvalOptions":
         """A copy with ``changes`` applied (dataclasses.replace)."""
@@ -102,10 +106,20 @@ class EvalOptions:
 
             artifacts = ArtifactStore(args.artifacts or None)
 
+        kernel = bool(getattr(args, "kernel", False)) or bool(
+            os.environ.get("REPRO_KERNEL")
+        )
+
         if server is not None:
             # A thin client leaves caching to the daemon.
             store = artifacts = None
-        return cls(jobs=jobs, store=store, artifacts=artifacts, server=server)
+        return cls(
+            jobs=jobs,
+            store=store,
+            artifacts=artifacts,
+            server=server,
+            kernel=kernel,
+        )
 
 
 def add_eval_args(
@@ -154,6 +168,13 @@ def add_eval_args(
             "workers hydrate instead of rebuilding (no DIR: "
             "$REPRO_ARTIFACT_STORE or ~/.cache/repro/artifacts)",
         )
+    parser.add_argument(
+        "--kernel",
+        action="store_true",
+        default=False,
+        help="replay through the compiled trace kernel (bit-identical "
+        "results, faster host loop; also $REPRO_KERNEL=1)",
+    )
     if server:
         parser.add_argument(
             "--server",

@@ -33,6 +33,7 @@ from repro.engine.frontend import FetchPlan, build_fetch_plan, fetch_config_key
 from repro.engine.machine import Machine
 from repro.engine.stats import MachineStats
 from repro.func.executor import capture_trace
+from repro.kernel import KernelMachine, encode_trace_arrays
 from repro.tlb.base import TranslationMechanism
 from repro.tlb.factory import make_mechanism, make_mechanism_from_spec
 from repro.tlb.stats import TranslationStats
@@ -240,9 +241,11 @@ class _BuildCache:
     max_builds: int = 8
     max_traces: int = 4
     max_plans: int = 4
+    max_kernels: int = 4
     builds: OrderedDict = field(default_factory=OrderedDict)
     traces: OrderedDict = field(default_factory=OrderedDict)
     plans: OrderedDict = field(default_factory=OrderedDict)
+    kernels: OrderedDict = field(default_factory=OrderedDict)
     #: Optional repro.eval.artifacts.ArtifactStore (duck-typed to avoid
     #: an import cycle: resultstore imports this module).
     artifacts: Any = None
@@ -301,6 +304,37 @@ class _BuildCache:
             self.traces.popitem(last=False)
         return trace
 
+    def get_kernel(self, req: "RunRequest", trace: list):
+        """Encoded kernel-replay arrays, shared across designs.
+
+        The encoding is a pure function of the trace (producer links are
+        timing-invariant), so like the trace itself it is built once per
+        workload and replayed under every design.  Misses hydrate the
+        build container's ``KERN`` section when an artifact store is
+        attached; fresh encodings are merged back into it.
+        """
+        axes = (
+            req.workload,
+            req.int_regs,
+            req.fp_regs,
+            req.scale,
+            req.max_instructions,
+        )
+        encoded = self.kernels.get(axes)
+        if encoded is not None:
+            self.kernels.move_to_end(axes)
+            return encoded
+        if self.artifacts is not None:
+            encoded = self.artifacts.load_kernel(axes, len(trace))
+        if encoded is None:
+            encoded = encode_trace_arrays(trace)
+            if self.artifacts is not None:
+                self.artifacts.save_kernel(axes, encoded)
+        self.kernels[axes] = encoded
+        while len(self.kernels) > self.max_kernels:
+            self.kernels.popitem(last=False)
+        return encoded
+
     def get_fetch_plan(
         self, req: "RunRequest", config: MachineConfig, trace: list
     ) -> FetchPlan:
@@ -345,6 +379,7 @@ def clear_build_cache() -> None:
     _CACHE.builds.clear()
     _CACHE.traces.clear()
     _CACHE.plans.clear()
+    _CACHE.kernels.clear()
 
 
 def configure_artifacts(store) -> Any:
@@ -382,9 +417,30 @@ def simulate(
     config = req.machine_config()
     mech = mechanism if mechanism is not None else req.make_mech(config.page_shift)
     plan = _CACHE.get_fetch_plan(req, config, trace)
-    machine = Machine(
-        config, mech, trace, name=req.name, profiler=profiler, fetch_plan=plan
-    )
+    if config.kernel and not config.sanity:
+        if profiler is not None:
+            from time import perf_counter_ns
+
+            start = perf_counter_ns()
+            encoded = _CACHE.get_kernel(req, trace)
+            profiler.add_phase_ns("kernel_encode", perf_counter_ns() - start)
+        else:
+            encoded = _CACHE.get_kernel(req, trace)
+        machine = KernelMachine(
+            config,
+            mech,
+            trace,
+            encoded=encoded,
+            name=req.name,
+            profiler=profiler,
+            fetch_plan=plan,
+        )
+    else:
+        # The sanitizer hooks the interpreted machine's internals, so
+        # sanity runs always take the interpreted path.
+        machine = Machine(
+            config, mech, trace, name=req.name, profiler=profiler, fetch_plan=plan
+        )
     sim = machine.run()
     import repro
 

@@ -55,12 +55,24 @@ _TRACE_HEAD = struct.Struct("<QQ")
 SECTION_PROGRAM = b"PROG"
 SECTION_TRACE = b"TRCE"
 SECTION_PLAN = b"PLAN"
+#: Encoded kernel-replay arrays (see :mod:`repro.kernel.encode`).
+SECTION_KERNEL = b"KERN"
 
-#: The format is closed: every valid container section carries one of
-#: these tags, and readers reject anything else (a stray tag means a
-#: corrupt or foreign file, not a future extension — extensions bump
-#: the version).
-_KNOWN_SECTIONS = frozenset((SECTION_PROGRAM, SECTION_TRACE, SECTION_PLAN))
+#: Sections this build of the reader understands.  Unknown tags are
+#: *retained*, not rejected: a version-2 container written by a newer
+#: build (with an extra section kind) must round-trip through an older
+#: reader — consumers look up the tags they know and ignore the rest,
+#: and rewriters (e.g. the artifact store merging a new section into an
+#: existing container) carry unknown payloads forward untouched.  Tag
+#: validity is structural: exactly 4 printable ASCII bytes, which
+#: distinguishes a future extension from a corrupt or foreign file.
+KNOWN_SECTIONS = frozenset(
+    (SECTION_PROGRAM, SECTION_TRACE, SECTION_PLAN, SECTION_KERNEL)
+)
+
+
+def _valid_tag(tag: bytes) -> bool:
+    return len(tag) == 4 and all(0x20 <= b < 0x7F for b in tag)
 
 #: Stable order for AddrMode serialization (enum declaration order).
 _ADDR_MODES = tuple(AddrMode)
@@ -110,8 +122,8 @@ def read_container(path: "str | Path") -> dict[bytes, bytes]:
             if len(raw) < _SECTION.size:
                 raise TraceFileError("truncated section header")
             tag, length = _SECTION.unpack(raw)
-            if tag not in _KNOWN_SECTIONS:
-                raise TraceFileError(f"unknown section tag: {tag!r}")
+            if not _valid_tag(tag):
+                raise TraceFileError(f"malformed section tag: {tag!r}")
             payload = handle.read(length)
             if len(payload) < length:
                 raise TraceFileError(f"truncated {tag!r} section")

@@ -1,0 +1,32 @@
+"""Trace-specialized compiled timing kernel.
+
+The build-time encoder (:mod:`repro.kernel.encode`) flattens a dynamic
+trace into structure-of-arrays buffers — opcode class, operand-producer
+trace indices, effective addresses, store-data producers — and the
+replay machine (:mod:`repro.kernel.machine`) runs the cycle loop over
+those arrays, bit-identical to the interpreted engine but without
+touching the instruction object graph.  Enable with
+``MachineConfig.kernel=True`` or ``--kernel`` on the eval/serve CLIs.
+
+numpy (``pip install repro[fast]``) accelerates the encoder only; the
+replay loop is scalar either way, and a pure-stdlib encoder producing
+byte-identical arrays is always available (set ``REPRO_NO_NUMPY=1`` to
+force it).
+"""
+
+from repro.kernel.encode import (
+    EncodedTrace,
+    decode_kernel_section,
+    encode_kernel_section,
+    encode_trace_arrays,
+)
+from repro.kernel.machine import KernelMachine, capture_kernel_timelines
+
+__all__ = [
+    "EncodedTrace",
+    "KernelMachine",
+    "capture_kernel_timelines",
+    "decode_kernel_section",
+    "encode_kernel_section",
+    "encode_trace_arrays",
+]

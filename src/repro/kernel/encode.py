@@ -1,0 +1,376 @@
+"""Build-time trace encoding: the kernel's structure-of-arrays buffers.
+
+The timing behaviour of one dynamic instruction depends on a handful of
+facts the interpreted engine re-derives from the ``DynInst`` object
+graph on every dispatch: its functional-unit class, whether it is a
+load/store, its effective address, and — crucially — *which earlier
+dynamic instruction produces each of its source operands*.  All of
+these are properties of the dynamic trace alone: the trace is fixed
+regardless of timing (the functional simulator already resolved it), so
+the last writer of every architectural register at every trace position
+is a build-time constant.  Wrong-path synthetics have no register
+effects and correct-path instructions are never squashed, so the
+producer indices stay valid for the whole run.
+
+:func:`encode_trace_arrays` walks the trace once and flattens those
+facts into parallel Python lists (one scalar per instruction — the
+structure-of-arrays layout :mod:`repro.kernel.machine` replays without
+touching a single ``DynInst``/``DecodedInst`` attribute).  When numpy
+is importable (``pip install repro[fast]``) the dependence resolution
+is vectorized — per-register writer-position arrays plus
+``searchsorted`` — and produces byte-identical arrays; the pure-stdlib
+sequential walk is always available (``dependencies = []`` stays true)
+and is forced with ``REPRO_NO_NUMPY=1``.
+
+The encoded arrays serialize to the ``KERN`` section of a version-2
+:mod:`repro.func.tracefile` container (``array('q')`` little-endian
+streams), so :class:`repro.eval.artifacts.ArtifactStore` content-
+addresses them next to the trace they specialize: encode once, replay
+under all thirteen designs and across serve workers.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import sys
+from array import array
+from typing import Sequence
+
+from repro.func.dyninst import DynInst
+from repro.func.tracefile import TraceFileError
+
+#: KERN payload preamble: magic, layout version, instruction count.
+_KERN_HEAD = struct.Struct("<4sHxxQ")
+_KERN_MAGIC = b"KTR\x01"
+_KERN_VERSION = 1
+
+#: EncodedTrace flag bits (see :class:`EncodedTrace.flags`).
+FLAG_LOAD = 1
+FLAG_STORE = 2
+FLAG_MEM = 4
+#: Set when the instruction writes registers and is not a load — the
+#: dispatch-time predicate for pretranslation register events.
+FLAG_REG_EVENT = 8
+
+#: Array attributes in serialization order (all int64 streams).
+_ARRAY_FIELDS = (
+    "fu",
+    "flags",
+    "ea1",
+    "base1",
+    "off",
+    "d1",
+    "d2",
+    "a0",
+    "a1",
+    "dd",
+)
+
+
+class EncodedTrace:
+    """Flat per-instruction arrays replayed by the kernel loop.
+
+    All attributes are plain Python lists of ``n`` ints (scalar list
+    indexing is the fastest random access CPython offers; numpy scalars
+    would be slower in the replay loop).  Register numbers are stored
+    ``+1`` with ``0`` meaning "none"; producer indices are trace
+    positions with ``-1`` meaning "no producer".
+    """
+
+    __slots__ = ("n",) + _ARRAY_FIELDS
+
+    def __init__(self, n, fu, flags, ea1, base1, off, d1, d2, a0, a1, dd):
+        #: Instruction count.
+        self.n = n
+        #: DecodedInst.fu_index (dense OpClass index) per instruction.
+        self.fu = fu
+        #: FLAG_* bits per instruction.
+        self.flags = flags
+        #: Effective address + 1 (0 = not a memory access).
+        self.ea1 = ea1
+        #: Base register + 1 of a memory access (0 = none).
+        self.base1 = base1
+        #: Immediate displacement of a memory access.
+        self.off = off
+        #: Destination registers + 1, in ``DecodedInst.dests`` order.
+        self.d1 = d1
+        self.d2 = d2
+        #: Producer trace index of each address operand (-1 = ready).
+        self.a0 = a0
+        self.a1 = a1
+        #: Producer trace index of a store's data operand (-1 = ready).
+        self.dd = dd
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, EncodedTrace):
+            return NotImplemented
+        return self.n == other.n and all(
+            getattr(self, name) == getattr(other, name) for name in _ARRAY_FIELDS
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EncodedTrace n={self.n}>"
+
+
+def _numpy():
+    """The numpy module, or ``None`` (not installed / ``REPRO_NO_NUMPY``)."""
+    if os.environ.get("REPRO_NO_NUMPY"):
+        return None
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - depends on the environment
+        return None
+    return numpy
+
+
+def encode_trace_arrays(trace: Sequence[DynInst]) -> EncodedTrace:
+    """Encode ``trace`` into kernel replay arrays.
+
+    Dispatches to the vectorized numpy encoder when available; both
+    paths produce identical arrays (a property the codec tests pin).
+    """
+    np = _numpy()
+    if np is not None:
+        return _encode_numpy(trace, np)
+    return _encode_python(trace)
+
+
+def _static_facts(dec) -> tuple[int, int, int, int, int, int]:
+    """(flags, base1, off, d1, d2) static scalars of one decode record."""
+    flags = 0
+    if dec.is_load:
+        flags |= FLAG_LOAD
+    if dec.is_store:
+        flags |= FLAG_STORE
+    base1 = 0
+    off = 0
+    if dec.is_mem:
+        flags |= FLAG_MEM
+        if dec.base_reg is not None:
+            base1 = dec.base_reg + 1
+        off = dec.offset
+    dests = dec.dests
+    if dests and not dec.is_load:
+        flags |= FLAG_REG_EVENT
+    if len(dests) > 2 or len(dec.addr_srcs) > 2 or len(dec.data_srcs) > 1:
+        raise TraceFileError(
+            f"static instruction {dec.index} exceeds the encoded operand "
+            f"layout (dests={dests}, addr_srcs={dec.addr_srcs}, "
+            f"data_srcs={dec.data_srcs})"
+        )
+    d1 = dests[0] + 1 if dests else 0
+    d2 = dests[1] + 1 if len(dests) > 1 else 0
+    return flags, base1, off, d1, d2
+
+
+def _encode_python(trace: Sequence[DynInst]) -> EncodedTrace:
+    """Sequential stdlib encoder: one last-writer walk over the trace."""
+    n = len(trace)
+    fu = [0] * n
+    flags = [0] * n
+    ea1 = [0] * n
+    base1 = [0] * n
+    off = [0] * n
+    d1 = [0] * n
+    d2 = [0] * n
+    a0 = [-1] * n
+    a1 = [-1] * n
+    dd = [-1] * n
+    static: dict[int, tuple] = {}
+    last: dict[int, int] = {}
+    last_get = last.get
+    for i, dyn in enumerate(trace):
+        dec = dyn.decoded
+        facts = static.get(dec.index)
+        if facts is None:
+            facts = static[dec.index] = _static_facts(dec)
+        f = facts[0]
+        fu[i] = dec.fu_index
+        flags[i] = f
+        if f & FLAG_MEM:
+            if dyn.ea is None:
+                raise TraceFileError(
+                    f"memory instruction at trace position {i} has no "
+                    "effective address"
+                )
+            ea1[i] = dyn.ea + 1
+            base1[i] = facts[1]
+            off[i] = facts[2]
+        srcs = dec.addr_srcs
+        if srcs:
+            p = last_get(srcs[0])
+            if p is not None:
+                a0[i] = p
+            if len(srcs) > 1:
+                p = last_get(srcs[1])
+                if p is not None:
+                    a1[i] = p
+        srcs = dec.data_srcs
+        if srcs:
+            p = last_get(srcs[0])
+            if p is not None:
+                dd[i] = p
+        w = facts[3]
+        if w:
+            last[w - 1] = i
+            w = facts[4]
+            if w:
+                last[w - 1] = i
+        d1[i] = facts[3]
+        d2[i] = facts[4]
+    return EncodedTrace(n, fu, flags, ea1, base1, off, d1, d2, a0, a1, dd)
+
+
+def _encode_numpy(trace: Sequence[DynInst], np) -> EncodedTrace:
+    """Vectorized encoder: static tables + per-register ``searchsorted``.
+
+    One cheap Python pass collects the per-instruction dynamic scalars
+    (static index, effective address) and the static decode table; all
+    per-instruction fact spreading and the last-writer dependence
+    resolution run as numpy array operations.  Produces the exact
+    arrays of :func:`_encode_python`.
+    """
+    n = len(trace)
+    sidx_l = [0] * n
+    ea1_l = [0] * n
+    static: dict[int, object] = {}
+    for i, dyn in enumerate(trace):
+        dec = dyn.decoded
+        si = dec.index
+        sidx_l[i] = si
+        if si not in static:
+            static[si] = dec
+        if dec.is_mem:
+            if dyn.ea is None:
+                raise TraceFileError(
+                    f"memory instruction at trace position {i} has no "
+                    "effective address"
+                )
+            ea1_l[i] = dyn.ea + 1
+    if not n:
+        return EncodedTrace(0, [], [], [], [], [], [], [], [], [], [])
+    # Dense static tables over the used static indices.
+    max_si = max(static) + 1
+    s_fu = np.zeros(max_si, np.int64)
+    s_flags = np.zeros(max_si, np.int64)
+    s_base1 = np.zeros(max_si, np.int64)
+    s_off = np.zeros(max_si, np.int64)
+    s_d1 = np.zeros(max_si, np.int64)
+    s_d2 = np.zeros(max_si, np.int64)
+    s_a0 = np.zeros(max_si, np.int64)  # addr-source registers + 1
+    s_a1 = np.zeros(max_si, np.int64)
+    s_dd = np.zeros(max_si, np.int64)  # data-source register + 1
+    for si, dec in static.items():
+        flags, base1, off, d1, d2 = _static_facts(dec)
+        s_fu[si] = dec.fu_index
+        s_flags[si] = flags
+        s_base1[si] = base1
+        s_off[si] = off
+        s_d1[si] = d1
+        s_d2[si] = d2
+        srcs = dec.addr_srcs
+        if srcs:
+            s_a0[si] = srcs[0] + 1
+            if len(srcs) > 1:
+                s_a1[si] = srcs[1] + 1
+        if dec.data_srcs:
+            s_dd[si] = dec.data_srcs[0] + 1
+    sidx = np.asarray(sidx_l, np.int64)
+    ea1 = np.asarray(ea1_l, np.int64)
+    fu = s_fu[sidx]
+    flags = s_flags[sidx]
+    mem = (flags & FLAG_MEM) != 0
+    base1 = np.where(mem, s_base1[sidx], 0)
+    off = np.where(mem, s_off[sidx], 0)
+    d1 = s_d1[sidx]
+    d2 = s_d2[sidx]
+    a0r = s_a0[sidx]
+    a1r = s_a1[sidx]
+    ddr = s_dd[sidx]
+    a0 = np.full(n, -1, np.int64)
+    a1 = np.full(n, -1, np.int64)
+    dd = np.full(n, -1, np.int64)
+    # Per register: writer positions are sorted by construction, so the
+    # last writer strictly before each reader is one searchsorted away.
+    written = np.unique(np.concatenate((d1, d2)))
+    for r in written:
+        if r == 0:
+            continue
+        writers = np.flatnonzero((d1 == r) | (d2 == r))
+        for src, dep in ((a0r, a0), (a1r, a1), (ddr, dd)):
+            readers = np.flatnonzero(src == r)
+            if not readers.size:
+                continue
+            pos = np.searchsorted(writers, readers, side="left") - 1
+            valid = pos >= 0
+            dep[readers[valid]] = writers[pos[valid]]
+    return EncodedTrace(
+        n,
+        fu.tolist(),
+        flags.tolist(),
+        ea1.tolist(),
+        base1.tolist(),
+        off.tolist(),
+        d1.tolist(),
+        d2.tolist(),
+        a0.tolist(),
+        a1.tolist(),
+        dd.tolist(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# KERN section codec.
+# ---------------------------------------------------------------------------
+
+
+def _to_bytes(values: list) -> bytes:
+    arr = array("q", values)
+    if sys.byteorder == "big":  # pragma: no cover - little-endian hosts
+        arr.byteswap()
+    return arr.tobytes()
+
+
+def _from_bytes(data: bytes) -> list:
+    arr = array("q")
+    arr.frombytes(data)
+    if sys.byteorder == "big":  # pragma: no cover - little-endian hosts
+        arr.byteswap()
+    return arr.tolist()
+
+
+def encode_kernel_section(encoded: EncodedTrace) -> bytes:
+    """Serialize encoded arrays to a ``KERN`` section payload."""
+    parts = [_KERN_HEAD.pack(_KERN_MAGIC, _KERN_VERSION, encoded.n)]
+    for name in _ARRAY_FIELDS:
+        parts.append(_to_bytes(getattr(encoded, name)))
+    return b"".join(parts)
+
+
+def decode_kernel_section(data: bytes) -> EncodedTrace:
+    """Rebuild an :class:`EncodedTrace` from a ``KERN`` payload.
+
+    Raises :class:`~repro.func.tracefile.TraceFileError` for truncated
+    or corrupt payloads (the artifact store turns that into a miss).
+    """
+    if len(data) < _KERN_HEAD.size:
+        raise TraceFileError("truncated kernel section")
+    magic, version, count = _KERN_HEAD.unpack_from(data)
+    if magic != _KERN_MAGIC:
+        raise TraceFileError(f"bad kernel-section magic: {magic!r}")
+    if version != _KERN_VERSION:
+        raise TraceFileError(f"unsupported kernel-section version: {version}")
+    stride = count * 8
+    expected = _KERN_HEAD.size + stride * len(_ARRAY_FIELDS)
+    if len(data) != expected:
+        raise TraceFileError(
+            f"kernel section holds {len(data)} bytes; {count} instructions "
+            f"need {expected}"
+        )
+    arrays = []
+    pos = _KERN_HEAD.size
+    for _ in _ARRAY_FIELDS:
+        arrays.append(_from_bytes(data[pos : pos + stride]))
+        pos += stride
+    return EncodedTrace(count, *arrays)

@@ -1,0 +1,1359 @@
+"""The specialized timing kernel: replay encoded-trace arrays.
+
+:class:`KernelMachine` produces the exact :class:`MachineStats` of
+:class:`repro.engine.machine.Machine` — bit-identical, gated by
+``repro.check.diff`` — but replays the flat per-instruction arrays of
+:class:`repro.kernel.encode.EncodedTrace` instead of interpreting the
+``DynInst``/``DecodedInst``/``_InFlight`` object graph.  The wins over
+the interpreted engine:
+
+* no per-instruction window-entry allocation: the reorder buffer is a
+  fixed pool of slot indices over parallel state lists, recycled
+  through a free list;
+* operand producers are precomputed trace indices (the dynamic trace is
+  timing-invariant, so the last writer of every register at every trace
+  position is a build-time constant) — dispatch does no register
+  bookkeeping at all;
+* the fetch queue is two integers: fetch-plan groups are consecutive
+  trace slices, so the queue contents are always the contiguous range
+  ``[qhead, qtail)``;
+* the per-cycle loop, commit, issue and dispatch phases are inlined
+  into one function whose state lives in locals and closure cells, not
+  attribute lookups.
+
+Slot recycling is safe because of three invariants, each load-bearing:
+
+* ``dyn_complete[i]`` (the completion cycle of trace instruction ``i``,
+  ``-1`` while unknown) is written at every site that learns a
+  completion, so consumers can read a producer's completion *value*
+  even after the producer committed and its slot was reused — the
+  interpreted engine gets this for free by keeping ``_InFlight``
+  objects alive through tuples;
+* ``dyn_slot[i]`` (the window slot of trace instruction ``i``) is only
+  consulted under ``dyn_complete[i] < 0``, which implies the producer
+  is still in the window, so the mapping needs no invalidation;
+* every lazily-purged container that can outlive its entries (the wake
+  heap, the unissued-store heap, the in-order issued-incomplete list,
+  piggyback rider lists) stores ``(seq, slot)`` pairs and drops records
+  whose slot no longer carries that seq — sequence numbers are monotone
+  and never reused.  The unissued scan list is instead purged eagerly
+  at squash (the only event that kills entries), which the interpreted
+  engine's lazy dead-dropping makes unobservable.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import insort
+from collections import deque
+from dataclasses import replace
+from heapq import heappop, heappush
+from typing import Sequence
+
+from repro.caches.cache import SetAssocCache
+from repro.caches.mshr import MSHRFile
+from repro.caches.replacement import XorShift32
+from repro.engine.config import MachineConfig
+from repro.engine.frontend import FetchPlan, build_fetch_plan
+from repro.engine.machine import (
+    SimulationResult,
+    _WP_ALU,
+    _WP_LOAD,
+    _WP_STORE,
+)
+from repro.engine.funits import FunctionalUnitPool
+from repro.engine.pipeview import InstTimeline
+from repro.engine.stats import MachineStats
+from repro.func.dyninst import OPCLASS_INDEX, DynInst
+from repro.kernel.encode import EncodedTrace, encode_trace_arrays
+from repro.tlb.base import NEVER, TranslationMechanism
+from repro.tlb.request import TranslationRequest
+
+
+def _plan_arrays(plan: FetchPlan) -> tuple:
+    """Flatten a fetch plan's event stream into parallel replay arrays.
+
+    Cached on the plan (``kernel_events``) so the thirteen designs of a
+    grid sharing one plan convert it once.
+    """
+    cached = plan.kernel_events
+    if cached is not None:
+        return cached
+    kind = []
+    count = []
+    branches = []
+    jumps = []
+    mp = []
+    for ev in plan.events:
+        if ev.__class__ is int:
+            kind.append(ev)
+            count.append(0)
+            branches.append(0)
+            jumps.append(0)
+            mp.append(0)
+        else:
+            group, b, j = ev
+            kind.append(2)
+            count.append(len(group.insts))
+            branches.append(b)
+            jumps.append(j)
+            mp.append(1 if group.mispredicted_tail else 0)
+    arrays = (kind, count, branches, jumps, mp)
+    plan.kernel_events = arrays
+    return arrays
+
+
+class KernelMachine:
+    """Replays an :class:`EncodedTrace` under one machine configuration.
+
+    Drop-in for :class:`repro.engine.machine.Machine` at the
+    :func:`repro.eval.runner.simulate` level: same constructor shape
+    (plus the ``encoded`` arrays), same :class:`SimulationResult`.
+    ``config.sanity`` is not supported here — the runner falls back to
+    the interpreted engine, whose invariant checker needs the object
+    graph this kernel exists to avoid.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        mechanism: TranslationMechanism,
+        trace: Sequence[DynInst],
+        encoded: EncodedTrace | None = None,
+        name: str = "run",
+        profiler=None,
+        fetch_plan: FetchPlan | None = None,
+        timeline_limit: int = 0,
+    ):
+        if mechanism.page_shift != config.page_shift:
+            raise ValueError(
+                f"mechanism page shift {mechanism.page_shift} != "
+                f"machine page shift {config.page_shift}"
+            )
+        if config.sanity:
+            raise ValueError(
+                "KernelMachine does not support sanity checking; "
+                "use the interpreted Machine (runner.simulate does)"
+            )
+        trace = trace if isinstance(trace, list) else list(trace)
+        if encoded is None:
+            encoded = encode_trace_arrays(trace)
+        if encoded.n != len(trace):
+            raise ValueError(
+                f"encoded arrays cover {encoded.n} instructions; "
+                f"trace has {len(trace)}"
+            )
+        self.config = config
+        self.mech = mechanism
+        self.name = name
+        self.trace = trace
+        self.encoded = encoded
+        self.stats = MachineStats()
+        self.dcache = SetAssocCache(
+            config.dcache_size, config.dcache_assoc, config.dcache_block
+        )
+        self.mshr = MSHRFile(config.dcache_mshrs)
+        if fetch_plan is None:
+            fetch_plan = build_fetch_plan(trace, config)
+        self.plan = fetch_plan
+        self.fupool = FunctionalUnitPool(config)
+        self.profiler = profiler
+        #: Captured stage timelines (seq -> InstTimeline) for the first
+        #: ``timeline_limit`` window entries; used by the differential
+        #: harness to render divergence excerpts against the
+        #: interpreted engine's pipeview.
+        self.timeline_limit = timeline_limit
+        self.timelines: dict[int, InstTimeline] = {}
+        #: Host-side event-driven diagnostics (never part of stats).
+        self.skipped_cycles = 0
+        self.skip_jumps = 0
+
+    # The whole simulation is one function: every phase of the cycle
+    # loop is either inlined or a closure over shared local state, so
+    # the hot path never touches ``self``.
+    def run(self) -> SimulationResult:  # noqa: C901 - deliberately monolithic
+        config = self.config
+        mech = self.mech
+        enc = self.encoded
+        trace = self.trace
+        stats = self.stats
+        prof = self.profiler
+        profiling = prof is not None
+        pns = time.perf_counter_ns
+        if profiling:
+            started = time.perf_counter()
+
+        # -- per-run constants ------------------------------------------------
+        fetch_width = config.fetch_width
+        issue_width = config.issue_width
+        commit_width = config.commit_width
+        rob = config.rob_entries
+        lsq = config.lsq_entries
+        tlb_miss_latency = config.tlb_miss_latency
+        icache_miss_latency = config.icache_miss_latency
+        dcache_miss_latency = config.dcache_miss_latency
+        mispredict_penalty = config.mispredict_penalty
+        model_wrong_path = config.model_wrong_path
+        wp_load_pct = config.wrong_path_load_pct
+        wp_load_store_pct = wp_load_pct + config.wrong_path_store_pct
+        cs_interval = config.context_switch_interval
+        max_cycles = config.max_cycles
+        event_driven = config.event_driven
+        inorder = config.issue_model == "inorder"
+        track_stores = not inorder
+        ldst_latency = config.fu_specs["ldst"].latency
+        page_shift = config.page_shift
+        wp_budget = max(1, fetch_width // 2)
+
+        dcache = self.dcache
+        dcache_access = dcache.access
+        dcache_probe = dcache.probe
+        dcache_block_of = dcache.block_of
+        dshift = dcache.block_shift
+        mshr = self.mshr
+        mshr_pending = mshr._pending
+        mshr_expire = mshr.expire
+        mshr_allocate = mshr.allocate
+        mshr_lookup = mshr.lookup
+        mshr_full = mshr.full
+        mshr_next_completion = mshr.next_completion
+        fupool_release = self.fupool.next_busy_release
+        mech_flush = mech.flush
+        mech_tick = mech.tick
+        mech_quiet_until = mech.quiescent_until
+        mech_request = mech.request
+        mech_on_register_write = mech.on_register_write
+        needs_reg_events = mech.needs_register_events
+        if profiling:
+            mech_tick = prof.wrap("mech_tick", mech_tick)
+
+        fu_map: list = [None] * len(OPCLASS_INDEX)
+        for oc, triple in self.fupool.class_map().items():
+            fu_map[OPCLASS_INDEX[oc]] = triple
+
+        # -- encoded trace arrays --------------------------------------------
+        t_flags = enc.flags
+        t_ea1 = enc.ea1
+        t_off = enc.off
+        t_d1 = enc.d1
+        t_d2 = enc.d2
+        t_a0 = enc.a0
+        t_a1 = enc.a1
+        t_dd = enc.dd
+        t_fut = [fu_map[i] for i in enc.fu]
+        t_base = [(b - 1) if b else None for b in enc.base1]
+        n_insts = enc.n
+        #: One row tuple per trace index so the dispatch loop pays a
+        #: single indexed load + unpack instead of ten list subscripts.
+        t_row = list(
+            zip(t_flags, t_fut, t_d1, t_d2, t_a0, t_a1, t_dd, t_ea1, t_base, t_off)
+        )
+
+        # -- fetch-plan replay state ------------------------------------------
+        ev_kind, ev_count, ev_branches, ev_jumps, ev_mp = _plan_arrays(self.plan)
+        n_ev = len(ev_kind)
+        ei = 0
+        fe_waiting = False
+        fe_resume = -1  # -1 = unresolved (FrontEnd.resume_cycle None)
+        fe_blocked = 0
+        qhead = 0
+        qtail = 0
+        #: Trace index of the pending mispredicted group tail (-1 none).
+        #: A scalar suffices: the tail must dispatch, issue and resolve
+        #: before fetch unblocks, so at most one is ever outstanding.
+        pending_mp = -1
+
+        # -- window slot pool -------------------------------------------------
+        s_dyn = [-1] * rob  # trace index (-1 = wrong-path synthetic)
+        s_seq = [-1] * rob
+        s_ea = [0] * rob
+        s_base = [None] * rob
+        s_off = [0] * rob
+        s_load = [False] * rob
+        s_store = [False] * rob
+        s_mem = [False] * rob
+        s_fu = [None] * rob  # (free_at, busy, latency) triple
+        s_issued = [False] * rob
+        s_icyc = [-1] * rob
+        s_done = [-1] * rob  # completion cycle (-1 = unknown)
+        s_cdone = [0] * rob  # cache-path completion (loads)
+        s_tdone = [-1] * rob  # translation-available cycle (-1 = unknown)
+        s_tbase = [-1] * rob
+        s_tlbw = [False] * rob  # awaiting the 30-cycle miss service
+        s_dhost = [-1] * rob  # piggyback host seq (-1 = none)
+        s_mp = [False] * rob
+        s_wp = [False] * rob
+        s_dead = [False] * rob
+        s_stall = [0] * rob
+        s_wait = [None] * rob  # slots parked on this one's completion
+        s_a0 = [-1] * rob  # surviving producer trace indices
+        s_a1 = [-1] * rob
+        s_dd = [-1] * rob
+        s_d1 = [0] * rob  # destination registers + 1
+        s_d2 = [0] * rob
+        free = list(range(rob - 1, -1, -1))
+        seq_of = s_seq.__getitem__
+
+        # -- cross-instruction replay state -----------------------------------
+        dyn_complete = [-1] * n_insts
+        dyn_slot = [0] * n_insts
+        window: deque[int] = deque()
+        by_seq: dict[int, int] = {}
+        riders: dict[int, list] = {}
+        blockers: set[int] = set()
+        stores_awaiting: list[int] = []
+        unissued: list[int] = []
+        issued_incomplete: list[tuple] = []
+        wake: list[tuple] = []
+        store_seqs: list[tuple] = []
+        fwd_stores: dict[int, list] = {}
+        recent_eas: deque[int] = deque(maxlen=16)
+        rng_below = XorShift32(0x57A7).below
+        wp_fu = (
+            fu_map[_WP_ALU.fu_index],
+            fu_map[_WP_LOAD.fu_index],
+            fu_map[_WP_STORE.fu_index],
+        )
+        wp_text = (
+            str(_WP_ALU.inst),
+            str(_WP_LOAD.inst),
+            str(_WP_STORE.inst),
+        )
+        next_seq = 0
+        wpb_slot = -1
+        wpb_seq = -1
+        lsq_count = 0
+        issue_next_try = 0
+        mech_quiet = 0
+        mshr_next = 0
+        next_flush = cs_interval if cs_interval else 0
+        mem_issues = 0
+
+        # -- stats accumulators ----------------------------------------------
+        st_committed = 0
+        st_issued = 0
+        st_loads = 0
+        st_stores = 0
+        st_branches = 0
+        st_mispredicts = 0
+        st_jumps = 0
+        st_tlb_services = 0
+        st_tlb_dstall = 0
+        st_fe_stall = 0
+        st_fwd = 0
+        st_itlb = 0
+        st_ctx = 0
+        demand = stats.translation_demand
+        skipped_total = 0
+        jump_count = 0
+        ns_commit = n_commit = 0
+        ns_issue = n_issue = 0
+        ns_dispatch = n_dispatch = 0
+
+        tl_limit = self.timeline_limit
+        timelines = self.timelines if tl_limit else None
+
+        # -- phase closures ---------------------------------------------------
+
+        def set_complete(slot: int, complete: int) -> None:
+            """Record a completion and wake anything parked on it."""
+            nonlocal issue_next_try
+            d = s_dyn[slot]
+            if d >= 0:
+                dyn_complete[d] = complete
+            s_done[slot] = complete
+            ws = s_wait[slot]
+            if ws is not None:
+                s_wait[slot] = None
+                for e in ws:
+                    if s_stall[e] > complete:
+                        s_stall[e] = complete
+                    if track_stores and not s_issued[e] and not s_dead[e]:
+                        heappush(wake, (complete, s_seq[e], e))
+                if complete < issue_next_try:
+                    issue_next_try = complete
+
+        def try_complete_store(slot: int) -> None:
+            """A store completes when address, translation, data are in."""
+            icyc = s_icyc[slot]
+            data_ready = icyc
+            dd = s_dd[slot]
+            if dd >= 0:
+                c = dyn_complete[dd]
+                if c < 0:
+                    # Data producer not yet scheduled: park on it.
+                    ps = dyn_slot[dd]
+                    ws = s_wait[ps]
+                    if ws is None:
+                        s_wait[ps] = [slot]
+                    else:
+                        ws.append(slot)
+                    s_stall[slot] = NEVER
+                    stores_awaiting.append(slot)
+                    return
+                if c > data_ready:
+                    data_ready = c
+            complete = icyc + 1
+            td1 = s_tdone[slot] + 1
+            if td1 > complete:
+                complete = td1
+            if data_ready > complete:
+                complete = data_ready
+            set_complete(slot, complete)
+
+        def finalize_mem(slot: int) -> None:
+            """Set completion once cache path and translation are known."""
+            td = s_tdone[slot]
+            if td < 0:
+                return
+            if s_load[slot]:
+                set_complete(slot, s_cdone[slot] + td - s_icyc[slot])
+            else:
+                try_complete_store(slot)
+
+        def complete_stores() -> bool:
+            nonlocal stores_awaiting
+            pending = stores_awaiting
+            for slot in pending:
+                if s_stall[slot] != NEVER:
+                    break
+            else:
+                return False  # every parked store's producer still unknown
+            stores_awaiting = []
+            completed = False
+            for slot in pending:
+                if s_done[slot] < 0:
+                    if s_stall[slot] == NEVER:
+                        stores_awaiting.append(slot)
+                        continue
+                    try_complete_store(slot)
+                    if s_done[slot] >= 0:
+                        completed = True
+            return completed
+
+        def complete_riders(slot: int) -> None:
+            lst = riders.pop(s_seq[slot], None)
+            if lst:
+                td = s_tdone[slot]
+                for rseq, rs in lst:
+                    if s_seq[rs] != rseq:
+                        continue  # rider squashed and slot recycled
+                    s_tdone[rs] = td
+                    s_tlbw[rs] = False
+                    finalize_mem(rs)
+
+        def apply_translation(result, now: int) -> None:
+            slot = by_seq.get(result.req.seq)
+            if slot is None:
+                return  # request outlived its instruction
+            if result.tlb_miss:
+                s_tlbw[slot] = True
+                s_tbase[slot] = result.ready
+                dep = result.depends_on
+                blockers.add(result.req.seq)
+                if dep is not None:
+                    s_dhost[slot] = dep
+                    hslot = by_seq.get(dep)
+                    if hslot is not None and s_tdone[hslot] < 0:
+                        lst = riders.get(dep)
+                        rec = (s_seq[slot], slot)
+                        if lst is None:
+                            riders[dep] = [rec]
+                        else:
+                            lst.append(rec)
+                    else:
+                        # Host already serviced (or gone): ride its result.
+                        if hslot is not None:
+                            done = s_tdone[hslot]
+                        else:
+                            done = now if now > result.ready else result.ready
+                        s_tdone[slot] = done
+                        s_tlbw[slot] = False
+                        finalize_mem(slot)
+                else:
+                    s_dhost[slot] = -1
+            else:
+                s_tdone[slot] = result.ready
+                finalize_mem(slot)
+
+        def issue_memory(slot: int, now: int) -> None:
+            nonlocal mem_issues, mech_quiet, mshr_next, st_fwd
+            ea = s_ea[slot]
+            mem_issues += 1
+            if not s_wp[slot]:
+                recent_eas.append(ea)
+            is_store = s_store[slot]
+            if is_store:
+                word = ea & ~3
+                lst = fwd_stores.get(word)
+                if lst is None:
+                    fwd_stores[word] = [slot]
+                else:
+                    lst.append(slot)
+            is_load = s_load[slot]
+            if is_load:
+                # Store-to-load forwarding: youngest earlier issued
+                # store to the same word whose data is already complete.
+                fwd = -1
+                candidates = fwd_stores.get(ea & ~3)
+                if candidates:
+                    seq = s_seq[slot]
+                    best_seq = -1
+                    for cand in candidates:
+                        s = s_seq[cand]
+                        if best_seq < s < seq:
+                            fwd = cand
+                            best_seq = s
+                    if fwd >= 0:
+                        dd = s_dd[fwd]
+                        if dd >= 0:
+                            c = dyn_complete[dd]
+                            if c < 0 or c > now:
+                                fwd = -1
+                if fwd >= 0:
+                    st_fwd += 1
+                    s_cdone[slot] = now + 1
+                elif dcache_access(ea):
+                    s_cdone[slot] = now + ldst_latency
+                else:
+                    mshr_expire(now)
+                    fill_done = mshr_allocate(
+                        dcache_block_of(ea), now, dcache_miss_latency
+                    )
+                    if fill_done < mshr_next:
+                        mshr_next = fill_done
+                    s_cdone[slot] = fill_done + ldst_latency
+            result = mech_request(
+                TranslationRequest(
+                    s_seq[slot],
+                    ea >> page_shift,
+                    now,
+                    is_store,
+                    is_load,
+                    s_base[slot],
+                    s_off[slot],
+                )
+            )
+            # The request may have queued port work: the mechanism's
+            # quiescent bound no longer holds.
+            mech_quiet = 0
+            if result is not None:
+                apply_translation(result, now)
+
+        def do_issue(slot: int, now: int) -> None:
+            nonlocal fe_resume
+            fu = s_fu[slot]
+            free_at = fu[0]
+            for i, cycle in enumerate(free_at):
+                if cycle <= now:
+                    free_at[i] = now + fu[1]
+                    break
+            s_issued[slot] = True
+            s_icyc[slot] = now
+            if timelines is not None:
+                t = timelines.get(s_seq[slot])
+                if t is not None:
+                    t.issue = now
+            if s_mem[slot]:
+                issue_memory(slot, now)
+            else:
+                ready = now + fu[2]
+                if s_wait[slot] is None:
+                    s_done[slot] = ready
+                    d = s_dyn[slot]
+                    if d >= 0:
+                        dyn_complete[d] = ready
+                else:
+                    set_complete(slot, ready)
+                if s_mp[slot]:
+                    # Branch resolves at completion; fetch resumes after
+                    # the misprediction penalty.
+                    fe_resume = ready + mispredict_penalty
+
+        def squash(now: int) -> bool:
+            """Squash the wrong-path tail once its branch has resolved."""
+            nonlocal wpb_slot, lsq_count, issue_next_try, unissued
+            bslot = wpb_slot
+            if s_seq[bslot] != wpb_seq:
+                wpb_slot = -1  # unreachable: the branch cannot leave the
+                return False  # window before this squash fires
+            c = s_done[bslot]
+            if c < 0 or c > now:
+                return False
+            wpb_slot = -1
+            squashed = False
+            while window and s_wp[window[-1]]:
+                slot = window.pop()
+                squashed = True
+                s_dead[slot] = True
+                if s_mem[slot]:
+                    lsq_count -= 1
+                    if s_store[slot] and s_issued[slot]:
+                        fwd_stores[s_ea[slot] & ~3].remove(slot)
+                sq = s_seq[slot]
+                blockers.discard(sq)
+                by_seq.pop(sq, None)
+                # A correct-path rider piggybacked on a squashed host
+                # would otherwise wait forever; complete it now.
+                lst = riders.pop(sq, None)
+                if lst:
+                    for rseq, rs in lst:
+                        if s_seq[rs] == rseq and s_tdone[rs] < 0:
+                            s_tdone[rs] = now
+                            s_tlbw[rs] = False
+                            finalize_mem(rs)
+                free.append(slot)
+            if squashed:
+                # Eager purge: freed slots must not linger in the scan
+                # list (the interpreted engine drops them lazily, which
+                # is unobservable — the live sequence is identical).
+                unissued = [s for s in unissued if not s_dead[s]]
+                issue_next_try = 0
+            return squashed
+
+        def service_tlb(now: int) -> bool:
+            """Start the 30-cycle walk once the misser is oldest incomplete."""
+            nonlocal st_tlb_services
+            for slot in window:
+                c = s_done[slot]
+                if 0 <= c <= now:
+                    continue
+                # ``slot`` is the oldest incomplete instruction.
+                if s_tlbw[slot] and s_dhost[slot] < 0 and not s_wp[slot]:
+                    tb = s_tbase[slot]
+                    s_tdone[slot] = (now if now > tb else tb) + tlb_miss_latency
+                    s_tlbw[slot] = False
+                    st_tlb_services += 1
+                    finalize_mem(slot)
+                    complete_riders(slot)
+                    return True
+                break
+            return False
+
+        def dispatch_wp(now: int) -> int:
+            """Fill dispatch slots with synthetic wrong-path instructions."""
+            nonlocal next_seq, lsq_count
+            count = 0
+            while count < wp_budget and len(window) < rob:
+                roll = rng_below(100)
+                if roll < wp_load_pct and recent_eas:
+                    kind = 1
+                elif roll < wp_load_store_pct and recent_eas:
+                    kind = 2
+                else:
+                    kind = 0
+                if kind and lsq_count >= lsq:
+                    kind = 0
+                slot = free.pop()
+                seq = next_seq
+                next_seq += 1
+                s_dyn[slot] = -1
+                s_seq[slot] = seq
+                s_load[slot] = kind == 1
+                s_store[slot] = kind == 2
+                s_mem[slot] = kind != 0
+                s_fu[slot] = wp_fu[kind]
+                s_issued[slot] = False
+                s_done[slot] = -1
+                s_tdone[slot] = -1
+                s_tlbw[slot] = False
+                s_dhost[slot] = -1
+                s_mp[slot] = False
+                s_wp[slot] = True
+                s_dead[slot] = False
+                s_stall[slot] = 0
+                s_wait[slot] = None
+                s_a0[slot] = -1
+                s_a1[slot] = -1
+                s_dd[slot] = -1
+                if inorder:
+                    s_d1[slot] = 0
+                    s_d2[slot] = 0
+                s_base[slot] = None
+                s_off[slot] = 0
+                if kind:
+                    # Wrong paths touch data near what the code just
+                    # touched: a recent address perturbed in its page.
+                    base = recent_eas[rng_below(len(recent_eas))]
+                    s_ea[slot] = (base & ~0xFF) + 4 * rng_below(64)
+                    lsq_count += 1
+                    if kind == 2 and track_stores:
+                        heappush(store_seqs, (seq, slot))
+                window.append(slot)
+                by_seq[seq] = slot
+                unissued.append(slot)
+                count += 1
+                if timelines is not None and seq < tl_limit:
+                    timelines[seq] = InstTimeline(
+                        seq=seq, text=wp_text[kind], dispatch=now
+                    )
+            return count
+
+        def next_event(now: int) -> int:
+            """Earliest cycle after ``now`` at which any phase could act."""
+            nxt = next_flush or NEVER
+            for slot in window:
+                c = s_done[slot]
+                if c >= 0 and now < c < nxt:
+                    nxt = c
+            quiet = mech_quiet_until(now)
+            if quiet < nxt:
+                nxt = quiet
+            if unissued or wake:
+                fill = mshr_next_completion(now)
+                if fill < nxt:
+                    nxt = fill
+                release = fupool_release(now)
+                if release < nxt:
+                    nxt = release
+            if not blockers and qtail - qhead <= fetch_width:
+                if fe_waiting:
+                    if 0 <= fe_resume < nxt:
+                        nxt = fe_resume
+                elif now < fe_blocked < nxt:
+                    nxt = fe_blocked
+            return nxt
+
+        if profiling:
+            complete_stores = prof.wrap("stores", complete_stores)
+            squash = prof.wrap("squash", squash)
+            service_tlb = prof.wrap("tlb_service", service_tlb)
+            next_event = prof.wrap("next_event", next_event)
+            mshr_expire_timed = prof.wrap("mshr_expire", mshr_expire)
+        else:
+            mshr_expire_timed = mshr_expire
+
+        # -- the cycle loop ---------------------------------------------------
+        now = 0
+        while True:
+            did_work = False
+            if next_flush and now >= next_flush:
+                # Context switch: all cached translations invalidated.
+                mech_flush()
+                st_ctx += 1
+                next_flush = now + cs_interval
+                mech_quiet = 0
+                did_work = True
+            if wpb_slot >= 0 and squash(now):
+                did_work = True
+            if window:
+                head = window[0]
+                hc = s_done[head]
+                if 0 <= hc <= now:
+                    # ---- commit (inline) ----
+                    if profiling:
+                        t0 = pns()
+                    count = 0
+                    loads = 0
+                    stores = 0
+                    while count < commit_width:
+                        head = window[0]
+                        c = s_done[head]
+                        if c < 0 or c > now:
+                            break
+                        window.popleft()
+                        count += 1
+                        if s_mem[head]:
+                            lsq_count -= 1
+                            if s_store[head]:
+                                stores += 1
+                                ea = s_ea[head]
+                                # Committed stores write the data cache.
+                                dcache_access(ea, write=True)
+                                fwd_stores[ea & ~3].remove(head)
+                            else:
+                                loads += 1
+                        sq = s_seq[head]
+                        if blockers:
+                            blockers.discard(sq)
+                        by_seq.pop(sq, None)
+                        free.append(head)
+                        if timelines is not None:
+                            t = timelines.get(sq)
+                            if t is not None:
+                                t.commit = now
+                                t.complete = c
+                        if not window:
+                            break
+                    st_committed += count
+                    st_loads += loads
+                    st_stores += stores
+                    if count:
+                        did_work = True
+                    if profiling:
+                        ns_commit += pns() - t0
+                        n_commit += 1
+            if mshr_pending and now >= mshr_next:
+                mshr_expire_timed(now)
+                mshr_next = mshr_next_completion(now)
+            if stores_awaiting and complete_stores():
+                did_work = True
+            if blockers and service_tlb(now):
+                did_work = True
+            if now >= issue_next_try:
+                # ---- issue (inline) ----
+                if profiling:
+                    t0 = pns()
+                if wake and wake[0][0] <= now:
+                    # Re-admit entries whose stall bound arrived, in seq
+                    # order; stale records for gone entries drop.
+                    while wake and wake[0][0] <= now:
+                        rec = heappop(wake)
+                        rslot = rec[2]
+                        if (
+                            s_seq[rslot] == rec[1]
+                            and not s_issued[rslot]
+                            and not s_dead[rslot]
+                        ):
+                            insort(unissued, rslot, key=seq_of)
+                mem_issues = 0
+                if not unissued:
+                    issue_next_try = wake[0][0] if wake else NEVER
+                else:
+                    issued = 0
+                    now1 = now + 1
+                    next_try = NEVER
+                    retained = None
+                    n = len(unissued)
+                    if inorder:
+                        # No renaming: WAW hazards against every issued
+                        # instruction whose result is still in flight.
+                        pending: dict = {}
+                        live: list = []
+                        for rec in issued_incomplete:
+                            rs = rec[1]
+                            if s_seq[rs] != rec[0] or s_dead[rs]:
+                                continue
+                            c = s_done[rs]
+                            if c < 0 or c > now:
+                                live.append(rec)
+                                d = s_d1[rs]
+                                if d:
+                                    pending[d] = rs
+                                    d = s_d2[rs]
+                                    if d:
+                                        pending[d] = rs
+                        issued_incomplete = live
+                        for i in range(n):
+                            slot = unissued[i]
+                            if s_dead[slot]:
+                                if retained is None:
+                                    retained = unissued[:i]
+                                continue
+                            if issued >= issue_width:
+                                if retained is not None:
+                                    retained.extend(unissued[i:])
+                                next_try = now1
+                                break
+                            s = s_stall[slot]
+                            if s > now:
+                                if retained is not None:
+                                    retained.extend(unissued[i:])
+                                next_try = s
+                                break
+                            parked = False
+                            bound = -1
+                            p = s_a0[slot]
+                            if p >= 0:
+                                c = dyn_complete[p]
+                                if c < 0:
+                                    ps = dyn_slot[p]
+                                    ws = s_wait[ps]
+                                    if ws is None:
+                                        s_wait[ps] = [slot]
+                                    else:
+                                        ws.append(slot)
+                                    s_stall[slot] = NEVER
+                                    parked = True
+                                elif c > now:
+                                    s_stall[slot] = bound = c
+                                else:
+                                    s_a0[slot] = -1  # satisfied for good
+                            if not parked and bound < 0:
+                                p = s_a1[slot]
+                                if p >= 0:
+                                    c = dyn_complete[p]
+                                    if c < 0:
+                                        ps = dyn_slot[p]
+                                        ws = s_wait[ps]
+                                        if ws is None:
+                                            s_wait[ps] = [slot]
+                                        else:
+                                            ws.append(slot)
+                                        s_stall[slot] = NEVER
+                                        parked = True
+                                    elif c > now:
+                                        s_stall[slot] = bound = c
+                                    else:
+                                        s_a1[slot] = -1
+                            if not parked and bound < 0:
+                                # The in-order model stalls on the store
+                                # data hazard too.
+                                p = s_dd[slot]
+                                if p >= 0:
+                                    c = dyn_complete[p]
+                                    if c < 0:
+                                        ps = dyn_slot[p]
+                                        ws = s_wait[ps]
+                                        if ws is None:
+                                            s_wait[ps] = [slot]
+                                        else:
+                                            ws.append(slot)
+                                        s_stall[slot] = NEVER
+                                        parked = True
+                                    elif c > now:
+                                        s_stall[slot] = bound = c
+                            if not parked and bound < 0:
+                                # WAW against an incomplete earlier writer.
+                                d = s_d1[slot]
+                                w = pending.get(d, -1) if d else -1
+                                if w < 0:
+                                    d = s_d2[slot]
+                                    if d:
+                                        w = pending.get(d, -1)
+                                if w >= 0:
+                                    c = s_done[w]
+                                    if c < 0:
+                                        ws = s_wait[w]
+                                        if ws is None:
+                                            s_wait[w] = [slot]
+                                        else:
+                                            ws.append(slot)
+                                        s_stall[slot] = NEVER
+                                        parked = True
+                                    else:
+                                        s_stall[slot] = bound = c
+                            if not parked and bound < 0:
+                                free_at = s_fu[slot][0]
+                                ok = False
+                                for fa in free_at:
+                                    if fa <= now:
+                                        ok = True
+                                        break
+                                if not ok:
+                                    s_stall[slot] = bound = min(free_at)
+                            if not parked and bound < 0 and s_load[slot]:
+                                # Structural: a missing load needs an MSHR.
+                                ea = s_ea[slot]
+                                if (
+                                    not dcache_probe(ea)
+                                    and mshr_lookup(ea >> dshift) is None
+                                    and mshr_full()
+                                ):
+                                    bound = now1  # never cached: see below
+                            if parked or bound >= 0:
+                                # The blocked head stalls everything
+                                # behind it.
+                                if retained is not None:
+                                    retained.extend(unissued[i:])
+                                if bound >= 0:
+                                    next_try = bound
+                                break
+                            do_issue(slot, now)
+                            issued += 1
+                            if retained is None:
+                                retained = unissued[:i]
+                            c = s_done[slot]
+                            if c < 0 or c > now:
+                                live.append((s_seq[slot], slot))
+                                d = s_d1[slot]
+                                if d:
+                                    pending[d] = slot
+                                    d = s_d2[slot]
+                                    if d:
+                                        pending[d] = slot
+                    else:
+                        # Oldest live unissued store: any younger load is
+                        # blocked on its still-unknown address.  Tops go
+                        # stale only when a store issues (squash/commit
+                        # never run mid-pass), so clean the heap once
+                        # here and again after each store issue instead
+                        # of on every blocked-load visit.
+                        while store_seqs:
+                            top = store_seqs[0]
+                            ts = top[1]
+                            if s_seq[ts] != top[0] or s_issued[ts] or s_dead[ts]:
+                                heappop(store_seqs)
+                            else:
+                                break
+                        block_seq = store_seqs[0][0] if store_seqs else NEVER
+                        for i in range(n):
+                            slot = unissued[i]
+                            if s_dead[slot]:
+                                if retained is None:
+                                    retained = unissued[:i]
+                                continue
+                            if issued >= issue_width:
+                                if retained is not None:
+                                    retained.extend(unissued[i:])
+                                next_try = now1
+                                break
+                            if s_load[slot] and block_seq < s_seq[slot]:
+                                # An earlier unissued store means its
+                                # address is still unknown.
+                                if retained is not None:
+                                    retained.append(slot)
+                                continue
+                            deferred = False
+                            p = s_a0[slot]
+                            if p >= 0:
+                                c = dyn_complete[p]
+                                if c < 0:
+                                    # Producer completion unknown: park.
+                                    ps = dyn_slot[p]
+                                    ws = s_wait[ps]
+                                    if ws is None:
+                                        s_wait[ps] = [slot]
+                                    else:
+                                        ws.append(slot)
+                                    deferred = True
+                                elif c > now:
+                                    heappush(wake, (c, s_seq[slot], slot))
+                                    deferred = True
+                                else:
+                                    s_a0[slot] = -1
+                            if not deferred:
+                                p = s_a1[slot]
+                                if p >= 0:
+                                    c = dyn_complete[p]
+                                    if c < 0:
+                                        ps = dyn_slot[p]
+                                        ws = s_wait[ps]
+                                        if ws is None:
+                                            s_wait[ps] = [slot]
+                                        else:
+                                            ws.append(slot)
+                                        deferred = True
+                                    elif c > now:
+                                        heappush(wake, (c, s_seq[slot], slot))
+                                        deferred = True
+                                    else:
+                                        s_a1[slot] = -1
+                            fu = None
+                            if not deferred:
+                                fu = s_fu[slot]
+                                free_at = fu[0]
+                                fui = -1
+                                for j, fa in enumerate(free_at):
+                                    if fa <= now:
+                                        fui = j
+                                        break
+                                if fui < 0:
+                                    heappush(
+                                        wake, (min(free_at), s_seq[slot], slot)
+                                    )
+                                    deferred = True
+                            if deferred:
+                                # Out of the scan list until the wake
+                                # record (or waiter drain) re-admits it.
+                                if retained is None:
+                                    retained = unissued[:i]
+                                continue
+                            if s_load[slot]:
+                                # Structural: a missing load needs an
+                                # MSHR.  Never cached as a bound: a
+                                # commit-time store write-allocate can
+                                # flip the probe to a hit any cycle.
+                                ea = s_ea[slot]
+                                if (
+                                    not dcache_probe(ea)
+                                    and mshr_lookup(ea >> dshift) is None
+                                    and mshr_full()
+                                ):
+                                    if now1 < next_try:
+                                        next_try = now1
+                                    if retained is not None:
+                                        retained.append(slot)
+                                    continue
+                            # ---- do_issue, inlined (the hot path) ----
+                            free_at[fui] = now + fu[1]
+                            s_issued[slot] = True
+                            s_icyc[slot] = now
+                            if timelines is not None:
+                                t = timelines.get(s_seq[slot])
+                                if t is not None:
+                                    t.issue = now
+                            if s_mem[slot]:
+                                issue_memory(slot, now)
+                                if s_store[slot]:
+                                    # The oldest-store bound may advance.
+                                    while store_seqs:
+                                        top = store_seqs[0]
+                                        ts = top[1]
+                                        if (
+                                            s_seq[ts] != top[0]
+                                            or s_issued[ts]
+                                            or s_dead[ts]
+                                        ):
+                                            heappop(store_seqs)
+                                        else:
+                                            break
+                                    block_seq = (
+                                        store_seqs[0][0] if store_seqs else NEVER
+                                    )
+                            else:
+                                ready = now + fu[2]
+                                if s_wait[slot] is None:
+                                    s_done[slot] = ready
+                                    d = s_dyn[slot]
+                                    if d >= 0:
+                                        dyn_complete[d] = ready
+                                else:
+                                    set_complete(slot, ready)
+                                if s_mp[slot]:
+                                    # Branch resolves at completion; fetch
+                                    # resumes after the penalty.
+                                    fe_resume = ready + mispredict_penalty
+                            issued += 1
+                            if retained is None:
+                                retained = unissued[:i]
+                    if retained is not None:
+                        unissued = retained
+                    if wake and wake[0][0] < next_try:
+                        next_try = wake[0][0]
+                    issue_next_try = next_try
+                    st_issued += issued
+                    if issued:
+                        did_work = True
+                    if mem_issues:
+                        # Histogram of simultaneous translation requests
+                        # per cycle (the paper's Section 2 evidence).
+                        demand[mem_issues] = demand.get(mem_issues, 0) + 1
+                if profiling:
+                    ns_issue += pns() - t0
+                    n_issue += 1
+            if now >= mech_quiet:
+                results = mech_tick(now)
+                if results:
+                    did_work = True
+                    for result in results:
+                        apply_translation(result, now)
+                else:
+                    mech_quiet = mech_quiet_until(now)
+            # ---- dispatch / fetch (inline) ----
+            if profiling:
+                t0 = pns()
+            if blockers:
+                st_tlb_dstall += 1
+            else:
+                fetched = False
+                count = 0
+                if qtail - qhead <= fetch_width:
+                    # FrontEnd.fetch_group replay.
+                    deliver = True
+                    if fe_waiting:
+                        if fe_resume < 0 or now < fe_resume:
+                            st_fe_stall += 1
+                            deliver = False
+                        else:
+                            fe_waiting = False
+                            fe_resume = -1
+                    if deliver and now < fe_blocked:
+                        st_fe_stall += 1
+                        deliver = False
+                    if deliver and ei < n_ev:
+                        k = ev_kind[ei]
+                        if k == 2:
+                            b = ev_branches[ei]
+                            if b:
+                                st_branches += b
+                                if ev_mp[ei]:
+                                    st_mispredicts += 1
+                            j = ev_jumps[ei]
+                            if j:
+                                st_jumps += j
+                            qtail += ev_count[ei]
+                            fetched = True
+                            if ev_mp[ei]:
+                                pending_mp = qtail - 1
+                                fe_waiting = True
+                                fe_resume = -1
+                        else:
+                            if k == 1:
+                                st_itlb += 1
+                                fe_blocked = now + tlb_miss_latency
+                            else:
+                                fe_blocked = now + icache_miss_latency
+                            st_fe_stall += 1
+                        ei += 1
+                if qhead < qtail and len(window) < rob:
+                    seq = next_seq
+                    while qhead < qtail and count < fetch_width:
+                        idx = qhead
+                        f, fut, d1, d2, a0, a1, dd, ea1, base, off = t_row[idx]
+                        if len(window) >= rob:
+                            break
+                        mem = (f & 4) != 0
+                        if mem and lsq_count >= lsq:
+                            break
+                        qhead += 1
+                        count += 1
+                        slot = free.pop()
+                        s_dyn[slot] = idx
+                        s_seq[slot] = seq
+                        s_load[slot] = (f & 1) != 0
+                        s_store[slot] = st = (f & 2) != 0
+                        s_mem[slot] = mem
+                        s_fu[slot] = fut
+                        s_issued[slot] = False
+                        s_done[slot] = -1
+                        s_tdone[slot] = -1
+                        s_tlbw[slot] = False
+                        s_dhost[slot] = -1
+                        s_wp[slot] = False
+                        s_dead[slot] = False
+                        s_stall[slot] = 0
+                        s_wait[slot] = None
+                        if inorder:
+                            s_d1[slot] = d1
+                            s_d2[slot] = d2
+                        # Producers that already completed can never
+                        # stall this entry; prune them here rather than
+                        # re-checking every scan.
+                        if a0 >= 0:
+                            c = dyn_complete[a0]
+                            if 0 <= c <= now:
+                                a0 = -1
+                        s_a0[slot] = a0
+                        if a1 >= 0:
+                            c = dyn_complete[a1]
+                            if 0 <= c <= now:
+                                a1 = -1
+                        s_a1[slot] = a1
+                        if dd >= 0:
+                            c = dyn_complete[dd]
+                            if 0 <= c <= now:
+                                dd = -1
+                        s_dd[slot] = dd
+                        if mem:
+                            s_ea[slot] = ea1 - 1
+                            s_base[slot] = base
+                            s_off[slot] = off
+                            lsq_count += 1
+                        if idx == pending_mp:
+                            pending_mp = -1
+                            s_mp[slot] = True
+                            if model_wrong_path:
+                                wpb_slot = slot
+                                wpb_seq = seq
+                        else:
+                            s_mp[slot] = False
+                        if st and track_stores:
+                            heappush(store_seqs, (seq, slot))
+                        if needs_reg_events and f & 8:
+                            # Decode-order register events for
+                            # pretranslation mechanisms.
+                            dec = trace[idx].decoded
+                            mech_on_register_write(dec.dests, dec.srcs)
+                        dyn_slot[idx] = slot
+                        window.append(slot)
+                        by_seq[seq] = slot
+                        seq += 1
+                        unissued.append(slot)
+                        if timelines is not None and s_seq[slot] < tl_limit:
+                            timelines[s_seq[slot]] = InstTimeline(
+                                seq=s_seq[slot],
+                                text=str(trace[idx].decoded.inst),
+                                dispatch=now,
+                            )
+                    if count:
+                        next_seq = seq
+                        if needs_reg_events:
+                            # Register events mutated the mechanism:
+                            # drop its quiescent bound.
+                            mech_quiet = 0
+                if (
+                    wpb_slot >= 0
+                    and model_wrong_path
+                    and qhead == qtail
+                    and count < fetch_width
+                ):
+                    # The front end is fetching down the wrong path.
+                    count += dispatch_wp(now)
+                if count:
+                    # New issue candidates: the gate no longer holds.
+                    issue_next_try = 0
+                if fetched or count:
+                    did_work = True
+            if profiling:
+                ns_dispatch += pns() - t0
+                n_dispatch += 1
+            now += 1
+            if max_cycles and now >= max_cycles:
+                raise RuntimeError(f"simulation exceeded {max_cycles} cycles")
+            if not window and qhead == qtail and ei >= n_ev:
+                break
+            if event_driven and not did_work:
+                target = next_event(now - 1)
+                if target > now:
+                    if max_cycles and target >= max_cycles:
+                        # The plain loop would idle up to the valve and
+                        # abort there; abort now with the same error.
+                        raise RuntimeError(
+                            f"simulation exceeded {max_cycles} cycles"
+                        )
+                    # Jump the quiescent span, charging the stall stats
+                    # the skipped cycles would have accrued.
+                    skipped = target - now
+                    skipped_total += skipped
+                    jump_count += 1
+                    if blockers:
+                        st_tlb_dstall += skipped
+                    elif qtail - qhead <= fetch_width and (
+                        fe_waiting or fe_blocked > now - 1
+                    ):
+                        st_fe_stall += skipped
+                    now = target
+
+        # -- finalize ---------------------------------------------------------
+        stats.cycles = now
+        stats.committed = st_committed
+        stats.issued = st_issued
+        stats.loads = st_loads
+        stats.stores = st_stores
+        stats.branches = st_branches
+        stats.mispredicts = st_mispredicts
+        stats.jumps = st_jumps
+        stats.tlb_miss_services = st_tlb_services
+        stats.tlb_dispatch_stall_cycles = st_tlb_dstall
+        stats.frontend_stall_cycles = st_fe_stall
+        stats.forwarded_loads = st_fwd
+        stats.itlb_misses = st_itlb
+        stats.context_switches = st_ctx
+        stats.icache = replace(self.plan.icache_stats)
+        stats.dcache = dcache.stats
+        stats.translation = mech.stats
+        self.skipped_cycles = skipped_total
+        self.skip_jumps = jump_count
+        if profiling:
+            prof.add_phase_ns("commit", ns_commit, n_commit)
+            prof.add_phase_ns("issue", ns_issue, n_issue)
+            prof.add_phase_ns("dispatch", ns_dispatch, n_dispatch)
+            prof.note_run(
+                cycles=stats.cycles,
+                committed=stats.committed,
+                skipped=skipped_total,
+                jumps=jump_count,
+                wall_s=time.perf_counter() - started,
+            )
+        return SimulationResult(self.name, stats, config)
+
+
+def capture_kernel_timelines(
+    config: MachineConfig,
+    mechanism: TranslationMechanism,
+    trace: Sequence[DynInst],
+    encoded: EncodedTrace | None = None,
+    limit: int = 64,
+) -> tuple[list[InstTimeline], SimulationResult]:
+    """Run the kernel recording the first ``limit`` instructions.
+
+    The kernel-side counterpart of ``PipelineTrace.capture``; the
+    differential harness renders both around a divergence.
+    """
+    machine = KernelMachine(
+        config, mechanism, trace, encoded, timeline_limit=limit
+    )
+    result = machine.run()
+    ordered = [machine.timelines[k] for k in sorted(machine.timelines)]
+    return ordered, result

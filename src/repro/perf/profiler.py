@@ -52,6 +52,17 @@ class SimProfiler:
 
         return timed
 
+    def add_phase_ns(self, name: str, ns: int, calls: int = 1) -> None:
+        """Bill ``ns`` wall nanoseconds to phase ``name`` directly.
+
+        For loops that time a phase inline (accumulating into a local)
+        instead of paying a :meth:`wrap` closure call per iteration —
+        the kernel replay loop uses this for its commit/issue/dispatch
+        phases and for the one-off trace-encoding pass.
+        """
+        self.phase_ns[name] = self.phase_ns.get(name, 0) + ns
+        self.phase_calls[name] = self.phase_calls.get(name, 0) + calls
+
     def note_run(
         self,
         *,

@@ -182,12 +182,24 @@ class TestContainerErrorPaths:
     _header = struct.Struct("<4sHxxQQ")
     _section = struct.Struct("<4sQ")
 
-    def test_unknown_section_tag_rejected(self, tmp_path):
-        path = tmp_path / "foreign.rpta"
+    def test_unknown_section_tag_retained(self, tmp_path):
+        # Forward compatibility: a version-2 container written by a
+        # newer build (extra section kind) must round-trip, not error.
+        path = tmp_path / "future.rpta"
         path.write_bytes(
-            self._header.pack(b"RPTR", 2, 1, 0) + self._section.pack(b"JUNK", 0)
+            self._header.pack(b"RPTR", 2, 1, 0)
+            + self._section.pack(b"JUNK", 4)
+            + b"data"
         )
-        with pytest.raises(TraceFileError, match="unknown section tag"):
+        assert read_container(path) == {b"JUNK": b"data"}
+
+    def test_malformed_section_tag_rejected(self, tmp_path):
+        # Non-printable tag bytes mean corruption, not an extension.
+        path = tmp_path / "corrupt.rpta"
+        path.write_bytes(
+            self._header.pack(b"RPTR", 2, 1, 0) + self._section.pack(b"\x00BAD", 0)
+        )
+        with pytest.raises(TraceFileError, match="malformed section tag"):
             read_container(path)
 
     def test_truncated_section_header_rejected(self, tmp_path):
