@@ -1,28 +1,23 @@
-"""Compiled-kernel throughput microbenchmark -> BENCH_kernel.json.
+"""Batch-kernel throughput microbenchmark -> BENCH_kernel_batch.json.
 
-Measures *warm* host throughput of the compiled trace kernel
-(:mod:`repro.kernel`) against the interpreted machine on the same
-workload x design mix as BENCH_simcore — trace, fetch plan, and encoded
-arrays already cached, as in the steady state of a figure grid — plus
-the one-time encoding cost per workload.  The committed
-``benchmarks/BENCH_kernel.json`` holds the reference numbers; CI
-re-measures and fails if warm kernel throughput regresses more than 30%
+Measures *warm* host throughput of the batch-vectorized replay backend
+(:mod:`repro.kernel.batch`) against both the interpreted machine and
+the base compiled kernel on the same workload x design mix as
+BENCH_simcore/BENCH_kernel — trace, fetch plan, encoded arrays and
+geometry already cached, as in the steady state of a figure grid — plus
+the one-time geometry-computation cost per workload.  The committed
+``benchmarks/BENCH_kernel_batch.json`` holds the reference numbers; CI
+re-measures and fails if warm batch throughput regresses more than 30%
 against it.
 
-A note on the headline number: the kernel's speedup over the
-interpreter is modest (~1.1x warm on this mix), because the interpreter
-had already absorbed the big algorithmic wins this repo made earlier —
-the event-driven cycle-skipping loop and the precomputed fetch plan.
-What remains in both loops is the per-event scheduling work itself,
-which costs the same in CPython regardless of whether operands come
-from SoA lists or object attributes.  The honest numbers are recorded
-as measured; see docs/performance.md.
+``settings.numpy`` records the numpy version the numbers were measured
+under (or ``"stdlib"``) so they are reproducible.
 
 Standalone::
 
-    PYTHONPATH=src python benchmarks/test_kernel_speed.py          # print
-    PYTHONPATH=src python benchmarks/test_kernel_speed.py --write  # refresh JSON
-    PYTHONPATH=src python benchmarks/test_kernel_speed.py --check  # CI gate
+    PYTHONPATH=src python benchmarks/test_kernel_batch_speed.py          # print
+    PYTHONPATH=src python benchmarks/test_kernel_batch_speed.py --write  # refresh
+    PYTHONPATH=src python benchmarks/test_kernel_batch_speed.py --check  # CI gate
 
 ``--check`` honors ``REPRO_BENCH_INSTS`` (smaller budgets for smoke
 runs) but always compares against the committed cycles/s, and
@@ -37,11 +32,10 @@ import sys
 from pathlib import Path
 from time import perf_counter
 
-BENCH_FILE = Path(__file__).resolve().parent / "BENCH_kernel.json"
-SIMCORE_FILE = Path(__file__).resolve().parent / "BENCH_simcore.json"
+BENCH_FILE = Path(__file__).resolve().parent / "BENCH_kernel_batch.json"
 SCHEMA = 1
 
-#: Same fixed mix as BENCH_simcore, so the two files are comparable.
+#: Same fixed mix as BENCH_simcore/BENCH_kernel, so the files compare.
 WORKLOADS = ("compress", "xlisp")
 DESIGNS = ("T4", "T1", "I4", "PB1")
 
@@ -94,31 +88,30 @@ def _time_side(requests, repeats: int) -> dict:
 
 
 def measure(max_instructions: int = 20_000, repeats: int = 3) -> dict:
-    """Time warm kernel vs interpreted runs; returns the payload."""
+    """Time warm batch vs kernel vs interpreted runs; returns the payload."""
+    from repro.engine.config import MachineConfig
     from repro.eval.runner import RunRequest, _CACHE, simulate
-    from repro.kernel import encode_trace_arrays
+    from repro.kernel import compute_geometry, encode_trace_arrays, geometry_params
 
-    interp = [
-        RunRequest.create(w, d, max_instructions=max_instructions)
-        for w in WORKLOADS
-        for d in DESIGNS
-    ]
-    kernel = [
-        RunRequest.create(w, d, kernel=True, max_instructions=max_instructions)
-        for w in WORKLOADS
-        for d in DESIGNS
-    ]
-    # Warm every cache layer (trace, fetch plans, encoded arrays).
-    for req in interp + kernel:
+    mk = lambda w, d, **kw: RunRequest.create(  # noqa: E731
+        w, d, max_instructions=max_instructions, **kw
+    )
+    interp = [mk(w, d) for w in WORKLOADS for d in DESIGNS]
+    kernel = [mk(w, d, kernel=True) for w in WORKLOADS for d in DESIGNS]
+    batch = [mk(w, d, kernel_batch=True) for w in WORKLOADS for d in DESIGNS]
+    # Warm every cache layer (trace, fetch plans, encoded arrays, geometry).
+    for req in interp + kernel + batch:
         simulate(req)
-    # One-time encoding cost, measured outside the replay timings.
-    encode = []
+    # One-time geometry cost, measured outside the replay timings.
+    params = geometry_params(MachineConfig())
+    geometry = []
     for w in WORKLOADS:
         trace = _CACHE.get_trace(w, 32, 32, 1.0, max_instructions)
+        encoded = encode_trace_arrays(trace)
         start = perf_counter()
-        encode_trace_arrays(trace)
+        compute_geometry(encoded, params)
         wall = perf_counter() - start
-        encode.append(
+        geometry.append(
             {
                 "workload": w,
                 "wall_s": round(wall, 4),
@@ -128,7 +121,8 @@ def measure(max_instructions: int = 20_000, repeats: int = 3) -> dict:
         )
     interp_side = _time_side(interp, repeats)
     kernel_side = _time_side(kernel, repeats)
-    payload = {
+    batch_side = _time_side(batch, repeats)
+    return {
         "schema": SCHEMA,
         "settings": {
             "workloads": list(WORKLOADS),
@@ -137,46 +131,44 @@ def measure(max_instructions: int = 20_000, repeats: int = 3) -> dict:
             "repeats": repeats,
             "numpy": numpy_setting(),
             "measurement": "warm serial best-of-repeats per run, "
-            "kernel arrays pre-encoded",
+            "kernel arrays and geometry pre-encoded",
         },
         "interpreted": interp_side,
         "kernel": kernel_side,
-        "kernel_speedup_vs_interpreted": round(
-            kernel_side["cycles_per_s"] / interp_side["cycles_per_s"], 2
+        "batch": batch_side,
+        "batch_speedup_vs_interpreted": round(
+            batch_side["cycles_per_s"] / interp_side["cycles_per_s"], 2
         ),
-        "encode": encode,
+        "batch_speedup_vs_kernel": round(
+            batch_side["cycles_per_s"] / kernel_side["cycles_per_s"], 2
+        ),
+        "geometry": geometry,
     }
-    if SIMCORE_FILE.exists():
-        ref = json.loads(SIMCORE_FILE.read_text())["warm"]["cycles_per_s"]
-        payload["kernel_speedup_vs_committed_simcore"] = round(
-            kernel_side["cycles_per_s"] / ref, 2
-        )
-    return payload
 
 
 def _render(payload: dict) -> str:
     interp = payload["interpreted"]
     kern = payload["kernel"]
+    batch = payload["batch"]
     lines = [
-        "compiled-kernel throughput (warm, serial)",
+        "batch-kernel throughput (warm, serial, "
+        f"numpy={payload['settings']['numpy']})",
         f"  interpreted : {interp['cycles_per_s']:>12,} sim cycles/s"
         f" ({interp['wall_s']:.3f} s total)",
         f"  kernel      : {kern['cycles_per_s']:>12,} sim cycles/s"
         f" ({kern['wall_s']:.3f} s total)",
-        f"  speedup     : {payload['kernel_speedup_vs_interpreted']:.2f}x"
-        " vs interpreted (same host, same runs)",
+        f"  batch       : {batch['cycles_per_s']:>12,} sim cycles/s"
+        f" ({batch['wall_s']:.3f} s total)",
+        f"  speedup     : {payload['batch_speedup_vs_interpreted']:.2f}x"
+        " vs interpreted, "
+        f"{payload['batch_speedup_vs_kernel']:.2f}x vs base kernel",
     ]
-    if "kernel_speedup_vs_committed_simcore" in payload:
+    for geo in payload["geometry"]:
         lines.append(
-            f"              : {payload['kernel_speedup_vs_committed_simcore']:.2f}x"
-            " vs committed BENCH_simcore warm"
+            f"  geometry {geo['workload']:<9s} {geo['wall_s']:>7.4f} s"
+            f" ({geo['insts_per_s']:>12,} insts/s)"
         )
-    for enc in payload["encode"]:
-        lines.append(
-            f"  encode {enc['workload']:<9s} {enc['wall_s']:>7.3f} s"
-            f" ({enc['insts_per_s']:>12,} insts/s)"
-        )
-    for run in kern["runs"]:
+    for run in batch["runs"]:
         lines.append(
             f"  {run['name']:<14s} {run['wall_s']:>7.3f} s"
             f" {run['cycles_per_s']:>12,} cyc/s"
@@ -185,14 +177,14 @@ def _render(payload: dict) -> str:
 
 
 def check(payload: dict, threshold: float) -> int:
-    """Compare fresh warm kernel throughput against the committed file."""
+    """Compare fresh warm batch throughput against the committed file."""
     committed = json.loads(BENCH_FILE.read_text())
-    ref = committed["kernel"]["cycles_per_s"]
-    fresh = payload["kernel"]["cycles_per_s"]
+    ref = committed["batch"]["cycles_per_s"]
+    fresh = payload["batch"]["cycles_per_s"]
     floor = (1.0 - threshold) * ref
     verdict = "OK" if fresh >= floor else "REGRESSION"
     print(
-        f"warm kernel throughput: {fresh:,} cyc/s vs committed {ref:,} cyc/s"
+        f"warm batch throughput: {fresh:,} cyc/s vs committed {ref:,} cyc/s"
         f" (floor {floor:,.0f}, threshold {threshold:.0%}) -> {verdict}"
     )
     return 0 if fresh >= floor else 1
@@ -201,18 +193,19 @@ def check(payload: dict, threshold: float) -> int:
 # -- pytest entry points ------------------------------------------------------
 
 
-def test_kernel_speed(benchmark):
+def test_kernel_batch_speed(benchmark):
     from conftest import archive, bench_insts
 
     payload = benchmark.pedantic(
         measure, kwargs={"max_instructions": bench_insts()}, rounds=1, iterations=1
     )
-    archive("kernel_speed", _render(payload))
-    assert payload["kernel"]["cycles_per_s"] > 0
-    assert all(run["sim_cycles"] > 0 for run in payload["kernel"]["runs"])
-    # Bit-identity is the kernel's contract; the speed run re-checks it
-    # for free since both sides simulated the same requests.
-    assert payload["kernel"]["sim_cycles"] == payload["interpreted"]["sim_cycles"]
+    archive("kernel_batch_speed", _render(payload))
+    assert payload["batch"]["cycles_per_s"] > 0
+    assert all(run["sim_cycles"] > 0 for run in payload["batch"]["runs"])
+    # Bit-identity is the backend's contract; the speed run re-checks it
+    # for free since all three sides simulated the same requests.
+    assert payload["batch"]["sim_cycles"] == payload["interpreted"]["sim_cycles"]
+    assert payload["batch"]["sim_cycles"] == payload["kernel"]["sim_cycles"]
 
 
 # -- CLI ----------------------------------------------------------------------
@@ -226,7 +219,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--check",
         action="store_true",
-        help=f"exit 1 if warm kernel throughput regressed vs {BENCH_FILE.name}",
+        help=f"exit 1 if warm batch throughput regressed vs {BENCH_FILE.name}",
     )
     parser.add_argument("--insts", type=int, default=None, help="instruction budget")
     parser.add_argument("--repeats", type=int, default=3)

@@ -60,6 +60,11 @@ def _cmd_run(args) -> int:
         max_instructions=args.insts,
         **({"model_itlb": True} if args.itlb else {}),
         **({"kernel": True} if args.kernel or os.environ.get("REPRO_KERNEL") else {}),
+        **(
+            {"kernel_batch": True}
+            if args.kernel_batch or os.environ.get("REPRO_KERNEL_BATCH")
+            else {}
+        ),
     )
     profiler = None
     if args.profile:

@@ -104,7 +104,11 @@ class SetAssocCache:
 
     def probe(self, addr: int) -> bool:
         """Check residency without updating state or stats."""
-        ways, block = self._locate(addr)
+        return self.probe_block(addr >> self.block_shift)
+
+    def probe_block(self, block: int) -> bool:
+        """:meth:`probe` for callers that already hold the block number."""
+        ways = self._sets[block & self.set_mask]
         return any(line[0] == block for line in ways)
 
     def access(self, addr: int, write: bool = False) -> bool:
@@ -114,7 +118,11 @@ class SetAssocCache:
         (write-allocate), possibly writing back a dirty victim (counted
         in ``stats.writebacks``).
         """
-        ways, block = self._locate(addr)
+        return self.access_block(addr >> self.block_shift, write)
+
+    def access_block(self, block: int, write: bool = False) -> bool:
+        """:meth:`access` for callers that already hold the block number."""
+        ways = self._sets[block & self.set_mask]
         self.stats.accesses += 1
         for i, line in enumerate(ways):
             if line[0] == block:

@@ -22,6 +22,10 @@ twin; this module runs both sides and diffs the outcome:
   interpreted machine, under both the event-driven and the plain loop,
   compared over the full stats dataclass; divergences are located by
   lockstep timeline comparison exactly like the loops check.
+* **kernel-batch** — the batch-vectorized backend
+  (:mod:`repro.kernel.batch`: encode-time geometry + wavefront
+  stepping) vs. the interpreted machine, same comparison; in-order
+  requests exercise the documented fallback to the base kernel.
 
 The entry point is :func:`run_differential`, which returns a
 :class:`DiffReport`; the fuzz harness (:mod:`repro.check.fuzz`) drives
@@ -43,10 +47,10 @@ from repro.eval.artifacts import ArtifactStore
 from repro.eval.runner import RunRequest, _CACHE, simulate
 from repro.func.executor import run_program
 from repro.func.tracefile import decode_program, encode_program
-from repro.kernel import capture_kernel_timelines
+from repro.kernel import capture_batch_timelines, capture_kernel_timelines
 
 #: The redundant paths one differential run exercises.
-CHECKS = ("loops", "artifacts", "functional", "kernel")
+CHECKS = ("loops", "artifacts", "functional", "kernel", "kernel-batch")
 
 #: Instructions captured per side when locating a loop divergence.
 PIPEVIEW_LIMIT = 160
@@ -402,6 +406,101 @@ def _check_kernel(req: RunRequest, mismatches: list[Mismatch], pipeview_limit: i
         )
 
 
+# ---------------------------------------------------------------------------
+# Check 5: batch-vectorized kernel backend vs. interpreted machine.
+# ---------------------------------------------------------------------------
+
+
+def _first_batch_divergence(
+    req: RunRequest, event_driven: bool, limit: int
+) -> tuple[int | None, str]:
+    """Locate a batch-backend divergence by lockstep timeline comparison."""
+    trace = _CACHE.get_trace(
+        req.workload, req.int_regs, req.fp_regs, req.scale, req.max_instructions
+    )
+    config = dataclasses.replace(
+        req.machine_config(),
+        event_driven=event_driven,
+        sanity=False,
+        kernel=False,
+        kernel_batch=False,
+    )
+    interp = PipelineTrace.capture(
+        config, req.make_mech(config.page_shift), trace, limit=limit
+    )
+    batch_tls, batch_result = capture_batch_timelines(
+        config, req.make_mech(config.page_shift), trace, limit=limit
+    )
+    for i, (k, s) in enumerate(zip(batch_tls, interp.timelines)):
+        k_stages = (k.dispatch, k.issue, k.complete, k.commit)
+        s_stages = (s.dispatch, s.issue, s.complete, s.commit)
+        if k_stages == s_stages:
+            continue
+        cycle = min(
+            c
+            for ka, sa in zip(k_stages, s_stages)
+            if ka != sa
+            for c in (ka, sa)
+            if c >= 0
+        )
+        lo, hi = max(0, i - 3), i + 4
+        excerpt = (
+            f"  first divergent instruction: #{k.seq} {k.text}\n"
+            "  batch kernel:\n"
+            + _indent(PipelineTrace(batch_tls[lo:hi], batch_result).render())
+            + "\n  interpreted:\n"
+            + _indent(PipelineTrace(interp.timelines[lo:hi], interp.result).render())
+        )
+        return cycle, excerpt
+    return None, (
+        f"  (stage timelines agree over the first {limit} instructions; "
+        "the divergence lies beyond the pipeview window)"
+    )
+
+
+def _check_kernel_batch(
+    req: RunRequest, mismatches: list[Mismatch], pipeview_limit: int
+):
+    """The batch backend must be bit-identical to the interpreted
+    machine under both cycle loops.
+
+    ``sanity=False`` is forced for the same reason as the kernel check;
+    an in-order request exercises the runner's documented fallback to
+    the base kernel, so the check stays meaningful on both issue
+    models.
+    """
+    base = simulate(
+        request_with_config(
+            req, kernel=False, kernel_batch=False, sanity=False, event_driven=True
+        )
+    )
+    a = _stats_dict(base.stats)
+    for event_driven in (True, False):
+        loop = "event-driven" if event_driven else "plain"
+        batch = simulate(
+            request_with_config(
+                req,
+                kernel=False,
+                kernel_batch=True,
+                sanity=False,
+                event_driven=event_driven,
+            )
+        )
+        b = _stats_dict(batch.stats)
+        if a == b:
+            continue
+        cycle, excerpt = _first_batch_divergence(req, event_driven, pipeview_limit)
+        mismatches.append(
+            Mismatch(
+                "kernel-batch",
+                f"batch kernel ({loop} loop) diverges from the "
+                "interpreted machine: " + _diff_stats(b, a, "batch", "interpreted"),
+                cycle=cycle,
+                excerpt=excerpt,
+            )
+        )
+
+
 def run_differential(
     req: RunRequest,
     pipeview_limit: int = PIPEVIEW_LIMIT,
@@ -424,6 +523,8 @@ def run_differential(
         _check_functional(req, timing, report.mismatches)
     if "kernel" in checks:
         _check_kernel(req, report.mismatches, pipeview_limit)
+    if "kernel-batch" in checks:
+        _check_kernel_batch(req, report.mismatches, pipeview_limit)
     return report
 
 

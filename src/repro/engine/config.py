@@ -115,6 +115,18 @@ class MachineConfig:
     # back to it.
     kernel: bool = False
 
+    # Batch-vectorized kernel replay: like ``kernel`` but through
+    # repro.kernel.batch.BatchKernelMachine, which additionally hoists
+    # all address geometry (VPN, cache block/set, bank index,
+    # pretranslation tag) to encode time and steps each cycle's ready
+    # wavefront through bulk gather/step/scatter phases.  Bit-identical
+    # (``python -m repro.check.diff --checks kernel-batch``).  Only the
+    # ooo issue model has a batch backend — in-order runs fall back to
+    # KernelMachine — and ``sanity`` falls back to the interpreted
+    # machine, as for ``kernel``.  Takes precedence over ``kernel``
+    # when both are set.
+    kernel_batch: bool = False
+
     # Simulation sanitizer: attach a repro.check.invariants.SanityChecker
     # to the run, validating per-cycle engine invariants and replaying
     # every event-driven skip against the mechanism's quiescent_until

@@ -70,6 +70,10 @@ class EvalOptions:
     #: (``MachineConfig.kernel``); results are bit-identical, only host
     #: throughput changes.
     kernel: bool = False
+    #: Run every request through the batch-vectorized kernel backend
+    #: (``MachineConfig.kernel_batch``); bit-identical, ooo-only (the
+    #: in-order model falls back to the base kernel).
+    kernel_batch: bool = False
 
     def replace(self, **changes) -> "EvalOptions":
         """A copy with ``changes`` applied (dataclasses.replace)."""
@@ -109,6 +113,9 @@ class EvalOptions:
         kernel = bool(getattr(args, "kernel", False)) or bool(
             os.environ.get("REPRO_KERNEL")
         )
+        kernel_batch = bool(getattr(args, "kernel_batch", False)) or bool(
+            os.environ.get("REPRO_KERNEL_BATCH")
+        )
 
         if server is not None:
             # A thin client leaves caching to the daemon.
@@ -119,6 +126,7 @@ class EvalOptions:
             artifacts=artifacts,
             server=server,
             kernel=kernel,
+            kernel_batch=kernel_batch,
         )
 
 
@@ -174,6 +182,14 @@ def add_eval_args(
         default=False,
         help="replay through the compiled trace kernel (bit-identical "
         "results, faster host loop; also $REPRO_KERNEL=1)",
+    )
+    parser.add_argument(
+        "--kernel-batch",
+        action="store_true",
+        default=False,
+        help="replay through the batch-vectorized kernel backend "
+        "(bit-identical results; ooo only, in-order falls back to the "
+        "base kernel; also $REPRO_KERNEL_BATCH=1)",
     )
     if server:
         parser.add_argument(

@@ -267,6 +267,10 @@ def run_many(
         interpreted machine; only host throughput changes.  Applied
         before store lookup and remote submission, so cached and remote
         runs key on the kernel flag like any other config override.
+    ``options.kernel_batch``
+        Same, for the batch-vectorized backend
+        (``MachineConfig.kernel_batch``; ooo only, in-order requests
+        fall back to the base kernel inside the runner).
     ``options.server``
         Address of a running ``python -m repro.serve`` daemon.  The
         batch is submitted over the socket instead of simulated here;
@@ -287,6 +291,15 @@ def run_many(
         reqs = [
             dataclasses.replace(
                 r, config=tuple({**dict(r.config), "kernel": True}.items())
+            )
+            for r in reqs
+        ]
+    if opts.kernel_batch:
+        # Same folding for the batch backend: keyed like any other
+        # config override before caching, dedup and remote submission.
+        reqs = [
+            dataclasses.replace(
+                r, config=tuple({**dict(r.config), "kernel_batch": True}.items())
             )
             for r in reqs
         ]

@@ -33,7 +33,13 @@ from repro.engine.frontend import FetchPlan, build_fetch_plan, fetch_config_key
 from repro.engine.machine import Machine
 from repro.engine.stats import MachineStats
 from repro.func.executor import capture_trace
-from repro.kernel import KernelMachine, encode_trace_arrays
+from repro.kernel import (
+    BatchKernelMachine,
+    KernelMachine,
+    encode_trace_arrays,
+    ensure_geometry,
+    geometry_params,
+)
 from repro.tlb.base import TranslationMechanism
 from repro.tlb.factory import make_mechanism, make_mechanism_from_spec
 from repro.tlb.stats import TranslationStats
@@ -304,7 +310,7 @@ class _BuildCache:
             self.traces.popitem(last=False)
         return trace
 
-    def get_kernel(self, req: "RunRequest", trace: list):
+    def get_kernel(self, req: "RunRequest", trace: list, geom_params=None):
         """Encoded kernel-replay arrays, shared across designs.
 
         The encoding is a pure function of the trace (producer links are
@@ -312,6 +318,12 @@ class _BuildCache:
         workload and replayed under every design.  Misses hydrate the
         build container's ``KERN`` section when an artifact store is
         attached; fresh encodings are merged back into it.
+
+        ``geom_params`` (a :func:`repro.kernel.geometry_params` triple)
+        asks for the batch backend's address-geometry arrays to be
+        attached before the encoding is persisted, so the serialized
+        ``KERN`` section carries them; geometry cached under different
+        parameters is a clean miss recomputed in place.
         """
         axes = (
             req.workload,
@@ -323,11 +335,17 @@ class _BuildCache:
         encoded = self.kernels.get(axes)
         if encoded is not None:
             self.kernels.move_to_end(axes)
+            if geom_params is not None:
+                ensure_geometry(encoded, geom_params)
             return encoded
         if self.artifacts is not None:
             encoded = self.artifacts.load_kernel(axes, len(trace))
+            if encoded is not None and geom_params is not None:
+                ensure_geometry(encoded, geom_params)
         if encoded is None:
             encoded = encode_trace_arrays(trace)
+            if geom_params is not None:
+                ensure_geometry(encoded, geom_params)
             if self.artifacts is not None:
                 self.artifacts.save_kernel(axes, encoded)
         self.kernels[axes] = encoded
@@ -417,16 +435,22 @@ def simulate(
     config = req.machine_config()
     mech = mechanism if mechanism is not None else req.make_mech(config.page_shift)
     plan = _CACHE.get_fetch_plan(req, config, trace)
-    if config.kernel and not config.sanity:
+    batch = config.kernel_batch and config.issue_model == "ooo"
+    if (config.kernel or config.kernel_batch) and not config.sanity:
+        # kernel_batch on the in-order model falls back to the base
+        # kernel (only ooo has a batch backend); geometry is attached
+        # before the encoding persists so the KERN artifact carries it.
+        geom = geometry_params(config) if batch else None
         if profiler is not None:
             from time import perf_counter_ns
 
             start = perf_counter_ns()
-            encoded = _CACHE.get_kernel(req, trace)
+            encoded = _CACHE.get_kernel(req, trace, geom_params=geom)
             profiler.add_phase_ns("kernel_encode", perf_counter_ns() - start)
         else:
-            encoded = _CACHE.get_kernel(req, trace)
-        machine = KernelMachine(
+            encoded = _CACHE.get_kernel(req, trace, geom_params=geom)
+        machine_cls = BatchKernelMachine if batch else KernelMachine
+        machine = machine_cls(
             config,
             mech,
             trace,

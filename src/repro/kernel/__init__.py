@@ -8,25 +8,52 @@ those arrays, bit-identical to the interpreted engine but without
 touching the instruction object graph.  Enable with
 ``MachineConfig.kernel=True`` or ``--kernel`` on the eval/serve CLIs.
 
-numpy (``pip install repro[fast]``) accelerates the encoder only; the
-replay loop is scalar either way, and a pure-stdlib encoder producing
+The batch backend (:mod:`repro.kernel.batch`) goes further: it hoists
+all address geometry (page number, cache block/set, TLB bank index,
+pretranslation tag) to encode time — cached alongside the base arrays
+in the ``KERN`` tracefile section — and steps each cycle's ready
+wavefront through bulk gather/step/scatter phases.  Enable with
+``MachineConfig.kernel_batch=True`` or ``--kernel-batch``; only the
+ooo issue model has a batch backend (in-order falls back to
+:class:`KernelMachine`).
+
+numpy (``pip install repro[fast]``) accelerates the encoder and the
+geometry precomputation only; a pure-stdlib path producing
 byte-identical arrays is always available (set ``REPRO_NO_NUMPY=1`` to
 force it).
+
+``python -m repro.kernel <workload>`` inspects an encoding: per-array
+sizes and dtypes of the KERN section plus a tracefile round-trip check.
 """
 
+from repro.kernel.batch import BatchKernelMachine, capture_batch_timelines
 from repro.kernel.encode import (
     EncodedTrace,
+    TraceGeometry,
+    bank_indices,
+    compute_geometry,
     decode_kernel_section,
     encode_kernel_section,
     encode_trace_arrays,
+    ensure_geometry,
+    geometry_params,
+    pretranslation_tags,
 )
 from repro.kernel.machine import KernelMachine, capture_kernel_timelines
 
 __all__ = [
+    "BatchKernelMachine",
     "EncodedTrace",
     "KernelMachine",
+    "TraceGeometry",
+    "bank_indices",
+    "capture_batch_timelines",
     "capture_kernel_timelines",
+    "compute_geometry",
     "decode_kernel_section",
     "encode_kernel_section",
     "encode_trace_arrays",
+    "ensure_geometry",
+    "geometry_params",
+    "pretranslation_tags",
 ]

@@ -1,0 +1,106 @@
+"""``python -m repro.kernel`` — inspect a workload's KERN encoding.
+
+Encodes a workload's dynamic trace, prints the per-array layout of the
+``KERN`` tracefile section (element counts, dtype, serialized bytes,
+geometry sub-layout), and verifies a full tracefile round trip: the
+payload is written into a version-2 container, read back, decoded, and
+compared for exact equality — base arrays and geometry both.  Exits
+non-zero on any mismatch, so encode regressions are debuggable without
+a full simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.engine.config import MachineConfig
+from repro.eval.runner import _CACHE
+from repro.kernel.encode import (
+    _ARRAY_FIELDS,
+    _GEOM_FIELDS,
+    _numpy,
+    decode_kernel_section,
+    encode_kernel_section,
+    ensure_geometry,
+    geometry_params,
+)
+from repro.func.tracefile import SECTION_KERNEL, read_container, write_container
+
+
+def _print_arrays(label: str, obj, fields: tuple) -> int:
+    total = 0
+    for name in fields:
+        values = getattr(obj, name)
+        nbytes = len(values) * 8
+        total += nbytes
+        print(f"  {label}.{name:<6} int64[{len(values):>7}]  {nbytes:>9} bytes")
+    return total
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.kernel", description=__doc__
+    )
+    parser.add_argument("workload", help="workload name (e.g. compress)")
+    parser.add_argument("--insts", type=int, default=20_000)
+    parser.add_argument("--regs", type=int, default=32)
+    parser.add_argument(
+        "--pages",
+        type=int,
+        default=4096,
+        help="page size for the geometry parameter triple (default 4096)",
+    )
+    parser.add_argument(
+        "--no-geometry",
+        action="store_true",
+        help="inspect the base arrays only (geometry flag 0)",
+    )
+    args = parser.parse_args(argv)
+
+    np = _numpy()
+    print(f"encoder: {'numpy ' + np.__version__ if np is not None else 'stdlib'}")
+    trace = _CACHE.get_trace(args.workload, args.regs, args.regs, 1.0, args.insts)
+    from repro.kernel.encode import encode_trace_arrays
+
+    encoded = encode_trace_arrays(trace)
+    config = MachineConfig(page_size=args.pages)
+    if not args.no_geometry:
+        params = geometry_params(config)
+        ensure_geometry(encoded, params)
+        print(
+            f"geometry params: page_shift={params[0]} "
+            f"block_shift={params[1]} set_mask={params[2]:#x}"
+        )
+
+    print(f"{args.workload}: {encoded.n} instructions")
+    total = _print_arrays("base", encoded, _ARRAY_FIELDS)
+    if encoded.geometry is not None:
+        total += _print_arrays("geom", encoded.geometry, _GEOM_FIELDS)
+    payload = encode_kernel_section(encoded)
+    print(f"  array bytes {total}, KERN payload {len(payload)} bytes")
+
+    # Round trip through a real container file.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "kern.trc"
+        write_container(path, {SECTION_KERNEL: payload})
+        sections = read_container(path)
+        decoded = decode_kernel_section(sections[SECTION_KERNEL])
+    if decoded != encoded:
+        print("FAIL: decoded base arrays differ from the encoding")
+        return 1
+    if not args.no_geometry:
+        if decoded.geometry is None or decoded.geometry != encoded.geometry:
+            print("FAIL: decoded geometry differs from the encoding")
+            return 1
+    elif decoded.geometry is not None:
+        print("FAIL: geometry present after encoding without it")
+        return 1
+    print("round trip ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

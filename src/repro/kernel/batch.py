@@ -1,0 +1,1200 @@
+"""Batch-vectorized replay: precomputed geometry + wavefront stepping.
+
+:class:`BatchKernelMachine` is the second replay backend over
+:class:`repro.kernel.encode.EncodedTrace`.  It produces the exact
+:class:`MachineStats` of the interpreted engine and of
+:class:`repro.kernel.machine.KernelMachine` — bit-identical, gated by
+the ``kernel-batch`` differential check — but moves work out of the
+per-instruction hot path in two ways:
+
+**Encode-time geometry.**  Every address-derived quantity the cycle
+loop needs is a pure function of the (timing-invariant) reference
+stream and a handful of configuration constants, so it is hoisted out
+of the loop entirely:
+
+* virtual page number, cache block number, cache set index and the
+  word-aligned forwarding key are computed once per trace by
+  :func:`repro.kernel.encode.compute_geometry` (numpy-vectorized with a
+  byte-identical stdlib fallback) and cached in the ``KERN`` tracefile
+  section, keyed on the parameter triple — a mismatch is a clean miss
+  on the geometry alone;
+* the interleaved-TLB bank index and the pretranslation-cache tag are
+  mechanism-dependent, so they are derived from the cached VPN array at
+  machine construction (:func:`~repro.kernel.encode.bank_indices`,
+  :func:`~repro.kernel.encode.pretranslation_tags`) and fed to the
+  mechanisms through their precomputed-argument entry points
+  (``request_banked`` / ``request_tagged``);
+* functional-unit descriptors are gathered per trace index up front, as
+  in the base kernel.
+
+At issue time the machine therefore performs no shifting, masking,
+folding or tag hashing at all — every per-reference value is an indexed
+load.
+
+**Wavefront stepping.**  Each simulated cycle processes its entire
+ready wavefront through three bulk phases instead of interleaving
+per-instruction scheduling with per-instruction bookkeeping:
+
+* *gather* — drain every ripe wake record at once (one sort restores
+  seq order, replacing repeated ``insort``) and bulk-prune satisfied
+  operand producers across the whole wavefront.  Pruning up front is
+  equivalent to the lazy per-slot pruning of the base kernel because a
+  producer observed satisfied stays satisfied: completions always land
+  at ``now + 1`` or later, so no mid-pass write can un-satisfy or newly
+  satisfy a producer for this pass;
+* *step* — walk the wavefront in sequence order, classifying each entry
+  against the precomputed geometry.  The walk itself must stay ordered
+  and stateful: port and bank arbitration, MSHR occupancy, FU leases
+  and store-to-load forwarding all observe mid-pass mutations, and the
+  paper's contention results depend on requests reaching the arbiters
+  in exactly this order;
+* *scatter* — completion cycles discovered during the walk are written
+  back (``dyn_complete`` / wake records); deferred entries are batched
+  into the wake heap with a single ``heapify`` instead of one
+  ``heappush`` per deferral (the heap is only observed between passes,
+  so the multiset is all that matters).
+
+Only the out-of-order issue model is supported: the in-order model's
+WAW scan is inherently serial, and ``repro.eval.runner.simulate`` falls
+back to :class:`KernelMachine` for it (and to the interpreted engine
+for ``config.sanity``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import replace
+from heapq import heapify, heappop, heappush
+from typing import Sequence
+
+from repro.caches.cache import SetAssocCache
+from repro.caches.mshr import MSHRFile
+from repro.caches.replacement import XorShift32
+from repro.engine.config import MachineConfig
+from repro.engine.frontend import FetchPlan, build_fetch_plan
+from repro.engine.machine import (
+    SimulationResult,
+    _WP_ALU,
+    _WP_LOAD,
+    _WP_STORE,
+)
+from repro.engine.funits import FunctionalUnitPool
+from repro.engine.pipeview import InstTimeline
+from repro.engine.stats import MachineStats
+from repro.func.dyninst import OPCLASS_INDEX, DynInst
+from repro.kernel.encode import (
+    EncodedTrace,
+    bank_indices,
+    encode_trace_arrays,
+    ensure_geometry,
+    geometry_params,
+    pretranslation_tags,
+)
+from repro.kernel.machine import _plan_arrays, capture_kernel_timelines
+from repro.tlb.base import NEVER, TranslationMechanism
+from repro.tlb.interleaved import InterleavedTLB
+from repro.tlb.pretranslation import PretranslationMechanism
+from repro.tlb.request import TranslationRequest
+
+
+class BatchKernelMachine:
+    """Replays an :class:`EncodedTrace` with precomputed geometry.
+
+    Drop-in for :class:`repro.kernel.machine.KernelMachine` at the
+    :func:`repro.eval.runner.simulate` level, restricted to
+    ``issue_model == "ooo"`` (the runner falls back for in-order and
+    for ``config.sanity``).
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        mechanism: TranslationMechanism,
+        trace: Sequence[DynInst],
+        encoded: EncodedTrace | None = None,
+        name: str = "run",
+        profiler=None,
+        fetch_plan: FetchPlan | None = None,
+        timeline_limit: int = 0,
+    ):
+        if mechanism.page_shift != config.page_shift:
+            raise ValueError(
+                f"mechanism page shift {mechanism.page_shift} != "
+                f"machine page shift {config.page_shift}"
+            )
+        if config.sanity:
+            raise ValueError(
+                "BatchKernelMachine does not support sanity checking; "
+                "use the interpreted Machine (runner.simulate does)"
+            )
+        if config.issue_model != "ooo":
+            raise ValueError(
+                "BatchKernelMachine supports the ooo issue model only; "
+                "use KernelMachine (runner.simulate falls back)"
+            )
+        trace = trace if isinstance(trace, list) else list(trace)
+        if encoded is None:
+            encoded = encode_trace_arrays(trace)
+        if encoded.n != len(trace):
+            raise ValueError(
+                f"encoded arrays cover {encoded.n} instructions; "
+                f"trace has {len(trace)}"
+            )
+        self.config = config
+        self.mech = mechanism
+        self.name = name
+        self.trace = trace
+        self.encoded = encoded
+        self.geometry = ensure_geometry(encoded, geometry_params(config))
+        self.stats = MachineStats()
+        self.dcache = SetAssocCache(
+            config.dcache_size, config.dcache_assoc, config.dcache_block
+        )
+        self.mshr = MSHRFile(config.dcache_mshrs)
+        if fetch_plan is None:
+            fetch_plan = build_fetch_plan(trace, config)
+        self.plan = fetch_plan
+        self.fupool = FunctionalUnitPool(config)
+        self.profiler = profiler
+        self.timeline_limit = timeline_limit
+        self.timelines: dict[int, InstTimeline] = {}
+        #: Host-side event-driven diagnostics (never part of stats).
+        self.skipped_cycles = 0
+        self.skip_jumps = 0
+
+    # One monolithic function, like the base kernel: the hot path never
+    # touches ``self``.
+    def run(self) -> SimulationResult:  # noqa: C901 - deliberately monolithic
+        config = self.config
+        mech = self.mech
+        enc = self.encoded
+        geo = self.geometry
+        trace = self.trace
+        stats = self.stats
+        prof = self.profiler
+        profiling = prof is not None
+        pns = time.perf_counter_ns
+        if profiling:
+            started = time.perf_counter()
+
+        # -- per-run constants ------------------------------------------------
+        fetch_width = config.fetch_width
+        issue_width = config.issue_width
+        commit_width = config.commit_width
+        rob = config.rob_entries
+        lsq = config.lsq_entries
+        tlb_miss_latency = config.tlb_miss_latency
+        icache_miss_latency = config.icache_miss_latency
+        dcache_miss_latency = config.dcache_miss_latency
+        mispredict_penalty = config.mispredict_penalty
+        model_wrong_path = config.model_wrong_path
+        wp_load_pct = config.wrong_path_load_pct
+        wp_load_store_pct = wp_load_pct + config.wrong_path_store_pct
+        cs_interval = config.context_switch_interval
+        max_cycles = config.max_cycles
+        event_driven = config.event_driven
+        ldst_latency = config.fu_specs["ldst"].latency
+        page_shift = config.page_shift
+        wp_budget = max(1, fetch_width // 2)
+
+        dcache = self.dcache
+        dcache_access_block = dcache.access_block
+        dcache_probe_block = dcache.probe_block
+        dshift = dcache.block_shift
+        mshr = self.mshr
+        mshr_pending = mshr._pending
+        mshr_expire = mshr.expire
+        mshr_allocate = mshr.allocate
+        mshr_lookup = mshr.lookup
+        mshr_full = mshr.full
+        mshr_next_completion = mshr.next_completion
+        fupool_release = self.fupool.next_busy_release
+        mech_flush = mech.flush
+        mech_tick = mech.tick
+        mech_quiet_until = mech.quiescent_until
+        mech_request = mech.request
+        mech_on_register_write = mech.on_register_write
+        needs_reg_events = mech.needs_register_events
+        if profiling:
+            mech_tick = prof.wrap("mech_tick", mech_tick)
+
+        # Precomputed-argument entry points.  Guarded by exact type so a
+        # subclass overriding selection or tagging falls back to the
+        # generic ``request`` path.
+        use_banked = type(mech) is InterleavedTLB
+        use_tagged = type(mech) is PretranslationMechanism
+        if use_banked:
+            mech_request_banked = mech.request_banked
+            mech_select = mech.select
+            t_bank = bank_indices(geo, mech.banks, mech.select_name)
+        if use_tagged:
+            mech_request_tagged = mech.request_tagged
+            t_ptag = pretranslation_tags(enc, mech.offset_tag_bits)
+
+        fu_map: list = [None] * len(OPCLASS_INDEX)
+        for oc, triple in self.fupool.class_map().items():
+            fu_map[OPCLASS_INDEX[oc]] = triple
+
+        # -- encoded trace + geometry arrays ----------------------------------
+        t_flags = enc.flags
+        t_fut = [fu_map[i] for i in enc.fu]
+        t_base = [(b - 1) if b else None for b in enc.base1]
+        n_insts = enc.n
+        #: One row tuple per trace index: encoded fields plus the
+        #: precomputed geometry, unpacked in a single indexed load.
+        t_row = list(
+            zip(
+                t_flags,
+                t_fut,
+                enc.a0,
+                enc.a1,
+                enc.dd,
+                enc.ea1,
+                t_base,
+                enc.off,
+                geo.vpn,
+                geo.blk,
+                geo.word,
+            )
+        )
+
+        # -- fetch-plan replay state ------------------------------------------
+        ev_kind, ev_count, ev_branches, ev_jumps, ev_mp = _plan_arrays(self.plan)
+        n_ev = len(ev_kind)
+        ei = 0
+        fe_waiting = False
+        fe_resume = -1
+        fe_blocked = 0
+        qhead = 0
+        qtail = 0
+        pending_mp = -1
+
+        # -- window slot pool -------------------------------------------------
+        s_dyn = [-1] * rob
+        s_seq = [-1] * rob
+        s_ea = [0] * rob
+        s_vpn = [0] * rob  # precomputed page number
+        s_blk = [0] * rob  # precomputed cache block number
+        s_word = [0] * rob  # precomputed forwarding key (ea & ~3)
+        s_bank = [0] * rob  # precomputed TLB bank (interleaved only)
+        s_ptag = [None] * rob  # precomputed pcache tag (pretranslation only)
+        s_base = [None] * rob
+        s_off = [0] * rob
+        s_load = [False] * rob
+        s_store = [False] * rob
+        s_mem = [False] * rob
+        s_fu = [None] * rob
+        s_issued = [False] * rob
+        s_icyc = [-1] * rob
+        s_done = [-1] * rob
+        s_cdone = [0] * rob
+        s_tdone = [-1] * rob
+        s_tbase = [-1] * rob
+        s_tlbw = [False] * rob
+        s_dhost = [-1] * rob
+        s_mp = [False] * rob
+        s_wp = [False] * rob
+        s_dead = [False] * rob
+        s_stall = [0] * rob
+        s_wait = [None] * rob
+        s_a0 = [-1] * rob
+        s_a1 = [-1] * rob
+        s_dd = [-1] * rob
+        free = list(range(rob - 1, -1, -1))
+        seq_of = s_seq.__getitem__
+
+        # -- cross-instruction replay state -----------------------------------
+        dyn_complete = [-1] * n_insts
+        dyn_slot = [0] * n_insts
+        window: deque[int] = deque()
+        by_seq: dict[int, int] = {}
+        riders: dict[int, list] = {}
+        blockers: set[int] = set()
+        stores_awaiting: list[int] = []
+        unissued: list[int] = []
+        wake: list[tuple] = []
+        store_seqs: list[tuple] = []
+        fwd_stores: dict[int, list] = {}
+        recent_eas: deque[int] = deque(maxlen=16)
+        rng_below = XorShift32(0x57A7).below
+        wp_fu = (
+            fu_map[_WP_ALU.fu_index],
+            fu_map[_WP_LOAD.fu_index],
+            fu_map[_WP_STORE.fu_index],
+        )
+        wp_text = (
+            str(_WP_ALU.inst),
+            str(_WP_LOAD.inst),
+            str(_WP_STORE.inst),
+        )
+        next_seq = 0
+        wpb_slot = -1
+        wpb_seq = -1
+        lsq_count = 0
+        issue_next_try = 0
+        mech_quiet = 0
+        mshr_next = 0
+        next_flush = cs_interval if cs_interval else 0
+        mem_issues = 0
+
+        # -- stats accumulators ----------------------------------------------
+        st_committed = 0
+        st_issued = 0
+        st_loads = 0
+        st_stores = 0
+        st_branches = 0
+        st_mispredicts = 0
+        st_jumps = 0
+        st_tlb_services = 0
+        st_tlb_dstall = 0
+        st_fe_stall = 0
+        st_fwd = 0
+        st_itlb = 0
+        st_ctx = 0
+        demand = stats.translation_demand
+        skipped_total = 0
+        jump_count = 0
+        ns_commit = n_commit = 0
+        ns_gather = n_gather = 0
+        ns_step = n_step = 0
+        ns_dispatch = n_dispatch = 0
+
+        tl_limit = self.timeline_limit
+        timelines = self.timelines if tl_limit else None
+
+        # -- phase closures ---------------------------------------------------
+
+        def set_complete(slot: int, complete: int) -> None:
+            nonlocal issue_next_try
+            d = s_dyn[slot]
+            if d >= 0:
+                dyn_complete[d] = complete
+            s_done[slot] = complete
+            ws = s_wait[slot]
+            if ws is not None:
+                s_wait[slot] = None
+                for e in ws:
+                    if s_stall[e] > complete:
+                        s_stall[e] = complete
+                    if not s_issued[e] and not s_dead[e]:
+                        heappush(wake, (complete, s_seq[e], e))
+                if complete < issue_next_try:
+                    issue_next_try = complete
+
+        def try_complete_store(slot: int) -> None:
+            icyc = s_icyc[slot]
+            data_ready = icyc
+            dd = s_dd[slot]
+            if dd >= 0:
+                c = dyn_complete[dd]
+                if c < 0:
+                    ps = dyn_slot[dd]
+                    ws = s_wait[ps]
+                    if ws is None:
+                        s_wait[ps] = [slot]
+                    else:
+                        ws.append(slot)
+                    s_stall[slot] = NEVER
+                    stores_awaiting.append(slot)
+                    return
+                if c > data_ready:
+                    data_ready = c
+            complete = icyc + 1
+            td1 = s_tdone[slot] + 1
+            if td1 > complete:
+                complete = td1
+            if data_ready > complete:
+                complete = data_ready
+            set_complete(slot, complete)
+
+        def finalize_mem(slot: int) -> None:
+            td = s_tdone[slot]
+            if td < 0:
+                return
+            if s_load[slot]:
+                set_complete(slot, s_cdone[slot] + td - s_icyc[slot])
+            else:
+                try_complete_store(slot)
+
+        def complete_stores() -> bool:
+            nonlocal stores_awaiting
+            pending = stores_awaiting
+            for slot in pending:
+                if s_stall[slot] != NEVER:
+                    break
+            else:
+                return False
+            stores_awaiting = []
+            completed = False
+            for slot in pending:
+                if s_done[slot] < 0:
+                    if s_stall[slot] == NEVER:
+                        stores_awaiting.append(slot)
+                        continue
+                    try_complete_store(slot)
+                    if s_done[slot] >= 0:
+                        completed = True
+            return completed
+
+        def complete_riders(slot: int) -> None:
+            lst = riders.pop(s_seq[slot], None)
+            if lst:
+                td = s_tdone[slot]
+                for rseq, rs in lst:
+                    if s_seq[rs] != rseq:
+                        continue
+                    s_tdone[rs] = td
+                    s_tlbw[rs] = False
+                    finalize_mem(rs)
+
+        def apply_translation(result, now: int) -> None:
+            slot = by_seq.get(result.req.seq)
+            if slot is None:
+                return
+            if result.tlb_miss:
+                s_tlbw[slot] = True
+                s_tbase[slot] = result.ready
+                dep = result.depends_on
+                blockers.add(result.req.seq)
+                if dep is not None:
+                    s_dhost[slot] = dep
+                    hslot = by_seq.get(dep)
+                    if hslot is not None and s_tdone[hslot] < 0:
+                        lst = riders.get(dep)
+                        rec = (s_seq[slot], slot)
+                        if lst is None:
+                            riders[dep] = [rec]
+                        else:
+                            lst.append(rec)
+                    else:
+                        if hslot is not None:
+                            done = s_tdone[hslot]
+                        else:
+                            done = now if now > result.ready else result.ready
+                        s_tdone[slot] = done
+                        s_tlbw[slot] = False
+                        finalize_mem(slot)
+                else:
+                    s_dhost[slot] = -1
+            else:
+                s_tdone[slot] = result.ready
+                finalize_mem(slot)
+
+        def issue_memory(slot: int, now: int) -> None:
+            nonlocal mem_issues, mech_quiet, mshr_next, st_fwd
+            ea = s_ea[slot]
+            word = s_word[slot]
+            mem_issues += 1
+            if not s_wp[slot]:
+                recent_eas.append(ea)
+            is_store = s_store[slot]
+            if is_store:
+                lst = fwd_stores.get(word)
+                if lst is None:
+                    fwd_stores[word] = [slot]
+                else:
+                    lst.append(slot)
+            is_load = s_load[slot]
+            if is_load:
+                fwd = -1
+                candidates = fwd_stores.get(word)
+                if candidates:
+                    seq = s_seq[slot]
+                    best_seq = -1
+                    for cand in candidates:
+                        s = s_seq[cand]
+                        if best_seq < s < seq:
+                            fwd = cand
+                            best_seq = s
+                    if fwd >= 0:
+                        dd = s_dd[fwd]
+                        if dd >= 0:
+                            c = dyn_complete[dd]
+                            if c < 0 or c > now:
+                                fwd = -1
+                if fwd >= 0:
+                    st_fwd += 1
+                    s_cdone[slot] = now + 1
+                elif dcache_access_block(s_blk[slot]):
+                    s_cdone[slot] = now + ldst_latency
+                else:
+                    mshr_expire(now)
+                    fill_done = mshr_allocate(
+                        s_blk[slot], now, dcache_miss_latency
+                    )
+                    if fill_done < mshr_next:
+                        mshr_next = fill_done
+                    s_cdone[slot] = fill_done + ldst_latency
+            req = TranslationRequest(
+                s_seq[slot],
+                s_vpn[slot],
+                now,
+                is_store,
+                is_load,
+                s_base[slot],
+                s_off[slot],
+            )
+            if use_banked:
+                result = mech_request_banked(req, s_bank[slot])
+            elif use_tagged:
+                result = mech_request_tagged(req, s_ptag[slot])
+            else:
+                result = mech_request(req)
+            mech_quiet = 0
+            if result is not None:
+                apply_translation(result, now)
+
+        def squash(now: int) -> bool:
+            nonlocal wpb_slot, lsq_count, issue_next_try, unissued
+            bslot = wpb_slot
+            if s_seq[bslot] != wpb_seq:
+                wpb_slot = -1  # unreachable: the branch cannot leave the
+                return False  # window before this squash fires
+            c = s_done[bslot]
+            if c < 0 or c > now:
+                return False
+            wpb_slot = -1
+            squashed = False
+            while window and s_wp[window[-1]]:
+                slot = window.pop()
+                squashed = True
+                s_dead[slot] = True
+                if s_mem[slot]:
+                    lsq_count -= 1
+                    if s_store[slot] and s_issued[slot]:
+                        fwd_stores[s_word[slot]].remove(slot)
+                sq = s_seq[slot]
+                blockers.discard(sq)
+                by_seq.pop(sq, None)
+                lst = riders.pop(sq, None)
+                if lst:
+                    for rseq, rs in lst:
+                        if s_seq[rs] == rseq and s_tdone[rs] < 0:
+                            s_tdone[rs] = now
+                            s_tlbw[rs] = False
+                            finalize_mem(rs)
+                free.append(slot)
+            if squashed:
+                unissued = [s for s in unissued if not s_dead[s]]
+                issue_next_try = 0
+            return squashed
+
+        def service_tlb(now: int) -> bool:
+            nonlocal st_tlb_services
+            for slot in window:
+                c = s_done[slot]
+                if 0 <= c <= now:
+                    continue
+                if s_tlbw[slot] and s_dhost[slot] < 0 and not s_wp[slot]:
+                    tb = s_tbase[slot]
+                    s_tdone[slot] = (now if now > tb else tb) + tlb_miss_latency
+                    s_tlbw[slot] = False
+                    st_tlb_services += 1
+                    finalize_mem(slot)
+                    complete_riders(slot)
+                    return True
+                break
+            return False
+
+        def dispatch_wp(now: int) -> int:
+            nonlocal next_seq, lsq_count
+            count = 0
+            while count < wp_budget and len(window) < rob:
+                roll = rng_below(100)
+                if roll < wp_load_pct and recent_eas:
+                    kind = 1
+                elif roll < wp_load_store_pct and recent_eas:
+                    kind = 2
+                else:
+                    kind = 0
+                if kind and lsq_count >= lsq:
+                    kind = 0
+                slot = free.pop()
+                seq = next_seq
+                next_seq += 1
+                s_dyn[slot] = -1
+                s_seq[slot] = seq
+                s_load[slot] = kind == 1
+                s_store[slot] = kind == 2
+                s_mem[slot] = kind != 0
+                s_fu[slot] = wp_fu[kind]
+                s_issued[slot] = False
+                s_done[slot] = -1
+                s_tdone[slot] = -1
+                s_tlbw[slot] = False
+                s_dhost[slot] = -1
+                s_mp[slot] = False
+                s_wp[slot] = True
+                s_dead[slot] = False
+                s_stall[slot] = 0
+                s_wait[slot] = None
+                s_a0[slot] = -1
+                s_a1[slot] = -1
+                s_dd[slot] = -1
+                s_base[slot] = None
+                s_off[slot] = 0
+                if kind:
+                    # Wrong-path geometry is synthesized inline: these
+                    # addresses are invented here, never encoded.
+                    base = recent_eas[rng_below(len(recent_eas))]
+                    ea = (base & ~0xFF) + 4 * rng_below(64)
+                    s_ea[slot] = ea
+                    vpn = ea >> page_shift
+                    s_vpn[slot] = vpn
+                    s_blk[slot] = ea >> dshift
+                    s_word[slot] = ea & ~3
+                    if use_banked:
+                        s_bank[slot] = mech_select(vpn)
+                    elif use_tagged:
+                        s_ptag[slot] = None
+                    lsq_count += 1
+                    if kind == 2:
+                        heappush(store_seqs, (seq, slot))
+                window.append(slot)
+                by_seq[seq] = slot
+                unissued.append(slot)
+                count += 1
+                if timelines is not None and seq < tl_limit:
+                    timelines[seq] = InstTimeline(
+                        seq=seq, text=wp_text[kind], dispatch=now
+                    )
+            return count
+
+        def next_event(now: int) -> int:
+            nxt = next_flush or NEVER
+            for slot in window:
+                c = s_done[slot]
+                if c >= 0 and now < c < nxt:
+                    nxt = c
+            quiet = mech_quiet_until(now)
+            if quiet < nxt:
+                nxt = quiet
+            if unissued or wake:
+                fill = mshr_next_completion(now)
+                if fill < nxt:
+                    nxt = fill
+                release = fupool_release(now)
+                if release < nxt:
+                    nxt = release
+            if not blockers and qtail - qhead <= fetch_width:
+                if fe_waiting:
+                    if 0 <= fe_resume < nxt:
+                        nxt = fe_resume
+                elif now < fe_blocked < nxt:
+                    nxt = fe_blocked
+            return nxt
+
+        if profiling:
+            complete_stores = prof.wrap("stores", complete_stores)
+            squash = prof.wrap("squash", squash)
+            service_tlb = prof.wrap("tlb_service", service_tlb)
+            next_event = prof.wrap("next_event", next_event)
+            mshr_expire_timed = prof.wrap("mshr_expire", mshr_expire)
+        else:
+            mshr_expire_timed = mshr_expire
+
+        # -- the cycle loop ---------------------------------------------------
+        now = 0
+        while True:
+            did_work = False
+            if next_flush and now >= next_flush:
+                mech_flush()
+                st_ctx += 1
+                next_flush = now + cs_interval
+                mech_quiet = 0
+                did_work = True
+            if wpb_slot >= 0 and squash(now):
+                did_work = True
+            if window:
+                head = window[0]
+                hc = s_done[head]
+                if 0 <= hc <= now:
+                    # ---- commit (inline) ----
+                    if profiling:
+                        t0 = pns()
+                    count = 0
+                    loads = 0
+                    stores = 0
+                    while count < commit_width:
+                        head = window[0]
+                        c = s_done[head]
+                        if c < 0 or c > now:
+                            break
+                        window.popleft()
+                        count += 1
+                        if s_mem[head]:
+                            lsq_count -= 1
+                            if s_store[head]:
+                                stores += 1
+                                # Committed stores write the data cache.
+                                dcache_access_block(s_blk[head], True)
+                                fwd_stores[s_word[head]].remove(head)
+                            else:
+                                loads += 1
+                        sq = s_seq[head]
+                        if blockers:
+                            blockers.discard(sq)
+                        by_seq.pop(sq, None)
+                        free.append(head)
+                        if timelines is not None:
+                            t = timelines.get(sq)
+                            if t is not None:
+                                t.commit = now
+                                t.complete = c
+                        if not window:
+                            break
+                    st_committed += count
+                    st_loads += loads
+                    st_stores += stores
+                    if count:
+                        did_work = True
+                    if profiling:
+                        ns_commit += pns() - t0
+                        n_commit += 1
+            if mshr_pending and now >= mshr_next:
+                mshr_expire_timed(now)
+                mshr_next = mshr_next_completion(now)
+            if stores_awaiting and complete_stores():
+                did_work = True
+            if blockers and service_tlb(now):
+                did_work = True
+            if now >= issue_next_try:
+                # ---- gather: assemble this cycle's wavefront ----
+                if profiling:
+                    t0 = pns()
+                if wake and wake[0][0] <= now:
+                    # Bulk drain: pop every ripe record, drop stale ones,
+                    # restore seq order with one sort (equivalent to the
+                    # base kernel's repeated insort — same final order).
+                    fresh = []
+                    while wake and wake[0][0] <= now:
+                        rec = heappop(wake)
+                        rslot = rec[2]
+                        if (
+                            s_seq[rslot] == rec[1]
+                            and not s_issued[rslot]
+                            and not s_dead[rslot]
+                        ):
+                            fresh.append(rslot)
+                    if fresh:
+                        unissued.extend(fresh)
+                        unissued.sort(key=seq_of)
+                mem_issues = 0
+                if not unissued:
+                    issue_next_try = wake[0][0] if wake else NEVER
+                    if profiling:
+                        ns_gather += pns() - t0
+                        n_gather += 1
+                else:
+                    # Bulk producer pruning across the whole wavefront:
+                    # a producer observed satisfied stays satisfied for
+                    # this pass (completions land at now+1 or later), so
+                    # clearing up front matches the step walk's lazy
+                    # pruning exactly.
+                    for slot in unissued:
+                        p = s_a0[slot]
+                        if p >= 0 and 0 <= dyn_complete[p] <= now:
+                            s_a0[slot] = -1
+                        p = s_a1[slot]
+                        if p >= 0 and 0 <= dyn_complete[p] <= now:
+                            s_a1[slot] = -1
+                    if profiling:
+                        ns_gather += pns() - t0
+                        n_gather += 1
+                        t0 = pns()
+                    # ---- step: seq-ordered wavefront walk ----
+                    issued = 0
+                    now1 = now + 1
+                    next_try = NEVER
+                    retained = None
+                    defer: list = []
+                    n = len(unissued)
+                    # Oldest live unissued store: any younger load is
+                    # blocked on its still-unknown address.
+                    while store_seqs:
+                        top = store_seqs[0]
+                        ts = top[1]
+                        if s_seq[ts] != top[0] or s_issued[ts] or s_dead[ts]:
+                            heappop(store_seqs)
+                        else:
+                            break
+                    block_seq = store_seqs[0][0] if store_seqs else NEVER
+                    for i in range(n):
+                        slot = unissued[i]
+                        if s_dead[slot]:
+                            if retained is None:
+                                retained = unissued[:i]
+                            continue
+                        if issued >= issue_width:
+                            if retained is not None:
+                                retained.extend(unissued[i:])
+                            next_try = now1
+                            break
+                        if s_load[slot] and block_seq < s_seq[slot]:
+                            if retained is not None:
+                                retained.append(slot)
+                            continue
+                        deferred = False
+                        p = s_a0[slot]
+                        if p >= 0:
+                            c = dyn_complete[p]
+                            if c < 0:
+                                ps = dyn_slot[p]
+                                ws = s_wait[ps]
+                                if ws is None:
+                                    s_wait[ps] = [slot]
+                                else:
+                                    ws.append(slot)
+                                deferred = True
+                            elif c > now:
+                                defer.append((c, s_seq[slot], slot))
+                                deferred = True
+                            else:
+                                s_a0[slot] = -1
+                        if not deferred:
+                            p = s_a1[slot]
+                            if p >= 0:
+                                c = dyn_complete[p]
+                                if c < 0:
+                                    ps = dyn_slot[p]
+                                    ws = s_wait[ps]
+                                    if ws is None:
+                                        s_wait[ps] = [slot]
+                                    else:
+                                        ws.append(slot)
+                                    deferred = True
+                                elif c > now:
+                                    defer.append((c, s_seq[slot], slot))
+                                    deferred = True
+                                else:
+                                    s_a1[slot] = -1
+                        fu = None
+                        if not deferred:
+                            fu = s_fu[slot]
+                            free_at = fu[0]
+                            fui = -1
+                            for j, fa in enumerate(free_at):
+                                if fa <= now:
+                                    fui = j
+                                    break
+                            if fui < 0:
+                                defer.append((min(free_at), s_seq[slot], slot))
+                                deferred = True
+                        if deferred:
+                            if retained is None:
+                                retained = unissued[:i]
+                            continue
+                        if s_load[slot]:
+                            # Structural: a missing load needs an MSHR.
+                            # Never cached as a bound: a commit-time
+                            # store write-allocate can flip the probe to
+                            # a hit any cycle.
+                            if (
+                                not dcache_probe_block(s_blk[slot])
+                                and mshr_lookup(s_blk[slot]) is None
+                                and mshr_full()
+                            ):
+                                if now1 < next_try:
+                                    next_try = now1
+                                if retained is not None:
+                                    retained.append(slot)
+                                continue
+                        # ---- issue (the hot path) ----
+                        free_at[fui] = now + fu[1]
+                        s_issued[slot] = True
+                        s_icyc[slot] = now
+                        if timelines is not None:
+                            t = timelines.get(s_seq[slot])
+                            if t is not None:
+                                t.issue = now
+                        if s_mem[slot]:
+                            issue_memory(slot, now)
+                            if s_store[slot]:
+                                while store_seqs:
+                                    top = store_seqs[0]
+                                    ts = top[1]
+                                    if (
+                                        s_seq[ts] != top[0]
+                                        or s_issued[ts]
+                                        or s_dead[ts]
+                                    ):
+                                        heappop(store_seqs)
+                                    else:
+                                        break
+                                block_seq = (
+                                    store_seqs[0][0] if store_seqs else NEVER
+                                )
+                        else:
+                            ready = now + fu[2]
+                            if s_wait[slot] is None:
+                                s_done[slot] = ready
+                                d = s_dyn[slot]
+                                if d >= 0:
+                                    dyn_complete[d] = ready
+                            else:
+                                set_complete(slot, ready)
+                            if s_mp[slot]:
+                                fe_resume = ready + mispredict_penalty
+                        issued += 1
+                        if retained is None:
+                            retained = unissued[:i]
+                    # ---- scatter: batch the pass's deferrals ----
+                    # The wake heap is only observed between passes, so
+                    # extend + one heapify matches per-record heappush.
+                    if defer:
+                        wake.extend(defer)
+                        heapify(wake)
+                    if retained is not None:
+                        unissued = retained
+                    if wake and wake[0][0] < next_try:
+                        next_try = wake[0][0]
+                    issue_next_try = next_try
+                    st_issued += issued
+                    if issued:
+                        did_work = True
+                    if mem_issues:
+                        demand[mem_issues] = demand.get(mem_issues, 0) + 1
+                    if profiling:
+                        ns_step += pns() - t0
+                        n_step += 1
+            if now >= mech_quiet:
+                results = mech_tick(now)
+                if results:
+                    did_work = True
+                    for result in results:
+                        apply_translation(result, now)
+                else:
+                    mech_quiet = mech_quiet_until(now)
+            # ---- dispatch / fetch (inline) ----
+            if profiling:
+                t0 = pns()
+            if blockers:
+                st_tlb_dstall += 1
+            else:
+                fetched = False
+                count = 0
+                if qtail - qhead <= fetch_width:
+                    deliver = True
+                    if fe_waiting:
+                        if fe_resume < 0 or now < fe_resume:
+                            st_fe_stall += 1
+                            deliver = False
+                        else:
+                            fe_waiting = False
+                            fe_resume = -1
+                    if deliver and now < fe_blocked:
+                        st_fe_stall += 1
+                        deliver = False
+                    if deliver and ei < n_ev:
+                        k = ev_kind[ei]
+                        if k == 2:
+                            b = ev_branches[ei]
+                            if b:
+                                st_branches += b
+                                if ev_mp[ei]:
+                                    st_mispredicts += 1
+                            j = ev_jumps[ei]
+                            if j:
+                                st_jumps += j
+                            qtail += ev_count[ei]
+                            fetched = True
+                            if ev_mp[ei]:
+                                pending_mp = qtail - 1
+                                fe_waiting = True
+                                fe_resume = -1
+                        else:
+                            if k == 1:
+                                st_itlb += 1
+                                fe_blocked = now + tlb_miss_latency
+                            else:
+                                fe_blocked = now + icache_miss_latency
+                            st_fe_stall += 1
+                        ei += 1
+                if qhead < qtail and len(window) < rob:
+                    seq = next_seq
+                    while qhead < qtail and count < fetch_width:
+                        idx = qhead
+                        (
+                            f,
+                            fut,
+                            a0,
+                            a1,
+                            dd,
+                            ea1,
+                            base,
+                            off,
+                            vpn,
+                            blk,
+                            word,
+                        ) = t_row[idx]
+                        if len(window) >= rob:
+                            break
+                        mem = (f & 4) != 0
+                        if mem and lsq_count >= lsq:
+                            break
+                        qhead += 1
+                        count += 1
+                        slot = free.pop()
+                        s_dyn[slot] = idx
+                        s_seq[slot] = seq
+                        s_load[slot] = (f & 1) != 0
+                        s_store[slot] = st = (f & 2) != 0
+                        s_mem[slot] = mem
+                        s_fu[slot] = fut
+                        s_issued[slot] = False
+                        s_done[slot] = -1
+                        s_tdone[slot] = -1
+                        s_tlbw[slot] = False
+                        s_dhost[slot] = -1
+                        s_wp[slot] = False
+                        s_dead[slot] = False
+                        s_stall[slot] = 0
+                        s_wait[slot] = None
+                        if a0 >= 0:
+                            c = dyn_complete[a0]
+                            if 0 <= c <= now:
+                                a0 = -1
+                        s_a0[slot] = a0
+                        if a1 >= 0:
+                            c = dyn_complete[a1]
+                            if 0 <= c <= now:
+                                a1 = -1
+                        s_a1[slot] = a1
+                        if dd >= 0:
+                            c = dyn_complete[dd]
+                            if 0 <= c <= now:
+                                dd = -1
+                        s_dd[slot] = dd
+                        if mem:
+                            s_ea[slot] = ea1 - 1
+                            s_vpn[slot] = vpn
+                            s_blk[slot] = blk
+                            s_word[slot] = word
+                            if use_banked:
+                                s_bank[slot] = t_bank[idx]
+                            elif use_tagged:
+                                s_ptag[slot] = t_ptag[idx]
+                            s_base[slot] = base
+                            s_off[slot] = off
+                            lsq_count += 1
+                        if idx == pending_mp:
+                            pending_mp = -1
+                            s_mp[slot] = True
+                            if model_wrong_path:
+                                wpb_slot = slot
+                                wpb_seq = seq
+                        else:
+                            s_mp[slot] = False
+                        if st:
+                            heappush(store_seqs, (seq, slot))
+                        if needs_reg_events and f & 8:
+                            dec = trace[idx].decoded
+                            mech_on_register_write(dec.dests, dec.srcs)
+                        dyn_slot[idx] = slot
+                        window.append(slot)
+                        by_seq[seq] = slot
+                        seq += 1
+                        unissued.append(slot)
+                        if timelines is not None and s_seq[slot] < tl_limit:
+                            timelines[s_seq[slot]] = InstTimeline(
+                                seq=s_seq[slot],
+                                text=str(trace[idx].decoded.inst),
+                                dispatch=now,
+                            )
+                    if count:
+                        next_seq = seq
+                        if needs_reg_events:
+                            mech_quiet = 0
+                if (
+                    wpb_slot >= 0
+                    and model_wrong_path
+                    and qhead == qtail
+                    and count < fetch_width
+                ):
+                    count += dispatch_wp(now)
+                if count:
+                    issue_next_try = 0
+                if fetched or count:
+                    did_work = True
+            if profiling:
+                ns_dispatch += pns() - t0
+                n_dispatch += 1
+            now += 1
+            if max_cycles and now >= max_cycles:
+                raise RuntimeError(f"simulation exceeded {max_cycles} cycles")
+            if not window and qhead == qtail and ei >= n_ev:
+                break
+            if event_driven and not did_work:
+                target = next_event(now - 1)
+                if target > now:
+                    if max_cycles and target >= max_cycles:
+                        raise RuntimeError(
+                            f"simulation exceeded {max_cycles} cycles"
+                        )
+                    skipped = target - now
+                    skipped_total += skipped
+                    jump_count += 1
+                    if blockers:
+                        st_tlb_dstall += skipped
+                    elif qtail - qhead <= fetch_width and (
+                        fe_waiting or fe_blocked > now - 1
+                    ):
+                        st_fe_stall += skipped
+                    now = target
+
+        # -- finalize ---------------------------------------------------------
+        stats.cycles = now
+        stats.committed = st_committed
+        stats.issued = st_issued
+        stats.loads = st_loads
+        stats.stores = st_stores
+        stats.branches = st_branches
+        stats.mispredicts = st_mispredicts
+        stats.jumps = st_jumps
+        stats.tlb_miss_services = st_tlb_services
+        stats.tlb_dispatch_stall_cycles = st_tlb_dstall
+        stats.frontend_stall_cycles = st_fe_stall
+        stats.forwarded_loads = st_fwd
+        stats.itlb_misses = st_itlb
+        stats.context_switches = st_ctx
+        stats.icache = replace(self.plan.icache_stats)
+        stats.dcache = dcache.stats
+        stats.translation = mech.stats
+        self.skipped_cycles = skipped_total
+        self.skip_jumps = jump_count
+        if profiling:
+            prof.add_phase_ns("commit", ns_commit, n_commit)
+            prof.add_phase_ns("kernel_batch_gather", ns_gather, n_gather)
+            prof.add_phase_ns("kernel_batch_step", ns_step, n_step)
+            prof.add_phase_ns("dispatch", ns_dispatch, n_dispatch)
+            prof.note_run(
+                cycles=stats.cycles,
+                committed=stats.committed,
+                skipped=skipped_total,
+                jumps=jump_count,
+                wall_s=time.perf_counter() - started,
+            )
+        return SimulationResult(self.name, stats, config)
+
+
+def capture_batch_timelines(
+    config: MachineConfig,
+    mechanism: TranslationMechanism,
+    trace: Sequence[DynInst],
+    encoded: EncodedTrace | None = None,
+    limit: int = 64,
+) -> tuple[list[InstTimeline], SimulationResult]:
+    """Run the batch backend recording the first ``limit`` instructions.
+
+    Falls back to the base kernel's capture for the in-order model,
+    mirroring the runner's fallback.
+    """
+    if config.issue_model != "ooo":
+        return capture_kernel_timelines(config, mechanism, trace, encoded, limit)
+    machine = BatchKernelMachine(
+        config, mechanism, trace, encoded, timeline_limit=limit
+    )
+    result = machine.run()
+    ordered = [machine.timelines[k] for k in sorted(machine.timelines)]
+    return ordered, result

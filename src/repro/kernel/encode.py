@@ -27,6 +27,23 @@ The encoded arrays serialize to the ``KERN`` section of a version-2
 streams), so :class:`repro.eval.artifacts.ArtifactStore` content-
 addresses them next to the trace they specialize: encode once, replay
 under all thirteen designs and across serve workers.
+
+Beyond the dependence arrays, every *timing-invariant address
+computation* the replay loop would otherwise repeat per reference is
+also hoisted here as :class:`TraceGeometry`: virtual page number, data-
+cache block/set/tag, and the word index used for store-to-load
+forwarding are pure functions of the effective address and a few
+configuration constants (:func:`geometry_params`), so they are computed
+once — vectorized under numpy, byte-identical stdlib fallback — and
+replayed by :mod:`repro.kernel.batch`.  Bank indices and
+pretranslation-cache tags are mechanism-dependent but still
+timing-invariant; :func:`bank_indices` and :func:`pretranslation_tags`
+derive them from the geometry on demand.  Geometry rides the ``KERN``
+section as a version-2 sub-layout keyed by its parameters: loading a
+container whose recorded parameters do not match the current
+configuration is a *clean miss* on the geometry alone — the dependence
+arrays still hydrate and the geometry is recomputed
+(:func:`ensure_geometry`).
 """
 
 from __future__ import annotations
@@ -43,7 +60,14 @@ from repro.func.tracefile import TraceFileError
 #: KERN payload preamble: magic, layout version, instruction count.
 _KERN_HEAD = struct.Struct("<4sHxxQ")
 _KERN_MAGIC = b"KTR\x01"
-_KERN_VERSION = 1
+#: Version 2 appends the optional geometry sub-layout (flag, parameter
+#: triple, geometry arrays).  Version-1 payloads are rejected, which the
+#: artifact store treats as a clean miss — the arrays re-encode.
+_KERN_VERSION = 2
+
+#: Geometry sub-layout scalars: present flag, then the parameter triple.
+_GEO_FLAG = struct.Struct("<q")
+_GEO_PARAMS = struct.Struct("<qqq")
 
 #: EncodedTrace flag bits (see :class:`EncodedTrace.flags`).
 FLAG_LOAD = 1
@@ -67,6 +91,43 @@ _ARRAY_FIELDS = (
     "dd",
 )
 
+#: Geometry array attributes in serialization order (all int64 streams).
+_GEOM_FIELDS = ("vpn", "blk", "dset", "word")
+
+
+class TraceGeometry:
+    """Per-reference address geometry hoisted out of the replay loop.
+
+    All arrays are plain Python lists of ``n`` ints, zero at non-memory
+    positions (the replay loop only reads them for memory references).
+    ``params`` is the :func:`geometry_params` triple the arrays were
+    computed for — the clean-miss key of the serialized form.
+    """
+
+    __slots__ = ("params",) + _GEOM_FIELDS
+
+    def __init__(self, params, vpn, blk, dset, word):
+        #: (page_shift, dcache block_shift, dcache set_mask).
+        self.params = params
+        #: Virtual page number (``ea >> page_shift``).
+        self.vpn = vpn
+        #: Data-cache block number — the cache's tag (``ea >> block_shift``).
+        self.blk = blk
+        #: Data-cache set index (``blk & set_mask``).
+        self.dset = dset
+        #: Word address for store-to-load forwarding (``ea & ~3``).
+        self.word = word
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TraceGeometry):
+            return NotImplemented
+        return self.params == other.params and all(
+            getattr(self, name) == getattr(other, name) for name in _GEOM_FIELDS
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TraceGeometry params={self.params}>"
+
 
 class EncodedTrace:
     """Flat per-instruction arrays replayed by the kernel loop.
@@ -78,11 +139,16 @@ class EncodedTrace:
     positions with ``-1`` meaning "no producer".
     """
 
-    __slots__ = ("n",) + _ARRAY_FIELDS
+    __slots__ = ("n", "geometry") + _ARRAY_FIELDS
 
     def __init__(self, n, fu, flags, ea1, base1, off, d1, d2, a0, a1, dd):
         #: Instruction count.
         self.n = n
+        #: Attached :class:`TraceGeometry`, or None until
+        #: :func:`ensure_geometry` computes (or the codec hydrates) one.
+        #: Not part of ``__eq__``: the dependence arrays are the
+        #: canonical content, geometry is a derived cache.
+        self.geometry = None
         #: DecodedInst.fu_index (dense OpClass index) per instruction.
         self.fu = fu
         #: FLAG_* bits per instruction.
@@ -321,6 +387,143 @@ def _encode_numpy(trace: Sequence[DynInst], np) -> EncodedTrace:
 
 
 # ---------------------------------------------------------------------------
+# Encode-time address geometry.
+# ---------------------------------------------------------------------------
+
+
+def geometry_params(config) -> tuple[int, int, int]:
+    """The configuration constants the geometry arrays depend on.
+
+    ``config`` is a :class:`repro.engine.config.MachineConfig` (duck-
+    typed to keep this module importable without the engine package).
+    The triple is the serialized clean-miss key: geometry loaded under
+    different parameters is discarded and recomputed.
+    """
+    block_shift = config.dcache_block.bit_length() - 1
+    num_sets = config.dcache_size // (config.dcache_assoc * config.dcache_block)
+    return (config.page_shift, block_shift, num_sets - 1)
+
+
+def compute_geometry(encoded: EncodedTrace, params) -> TraceGeometry:
+    """Compute the per-reference geometry arrays for ``params``.
+
+    Vectorized under numpy; the stdlib walk produces byte-identical
+    lists (``REPRO_NO_NUMPY=1`` forces it, as for the encoder).
+    """
+    page_shift, block_shift, set_mask = params
+    n = encoded.n
+    np = _numpy()
+    if np is not None and n:
+        ea1 = np.asarray(encoded.ea1, np.int64)
+        flags = np.asarray(encoded.flags, np.int64)
+        ea = np.where((flags & FLAG_MEM) != 0, ea1 - 1, 0)
+        blk = ea >> block_shift
+        return TraceGeometry(
+            tuple(params),
+            (ea >> page_shift).tolist(),
+            blk.tolist(),
+            (blk & set_mask).tolist(),
+            (ea & ~3).tolist(),
+        )
+    vpn = [0] * n
+    blk = [0] * n
+    dset = [0] * n
+    word = [0] * n
+    t_flags = encoded.flags
+    t_ea1 = encoded.ea1
+    for i in range(n):
+        if t_flags[i] & FLAG_MEM:
+            ea = t_ea1[i] - 1
+            vpn[i] = ea >> page_shift
+            b = ea >> block_shift
+            blk[i] = b
+            dset[i] = b & set_mask
+            word[i] = ea & ~3
+    return TraceGeometry(tuple(params), vpn, blk, dset, word)
+
+
+def ensure_geometry(encoded: EncodedTrace, params) -> TraceGeometry:
+    """Attach (or reuse) geometry for ``params``; returns it.
+
+    A parameter mismatch against an already-attached geometry — e.g. a
+    ``KERN`` section recorded under a different page size — is a clean
+    miss on the geometry alone: it is recomputed here while the
+    dependence arrays stay as loaded.
+    """
+    params = tuple(params)
+    geo = encoded.geometry
+    if geo is None or geo.params != params:
+        geo = compute_geometry(encoded, params)
+        encoded.geometry = geo
+    return geo
+
+
+def bank_indices(geometry: TraceGeometry, banks: int, select: str) -> list:
+    """Per-reference interleaved-TLB bank index of each trace position.
+
+    Mirrors :mod:`repro.tlb.bankselect` exactly (the property tests pin
+    the equality against the live mechanism's selection function); zero
+    at non-memory positions, like every geometry array.
+    """
+    vpn = geometry.vpn
+    mask = banks - 1
+    np = _numpy()
+    if select == "bit":
+        if np is not None and vpn:
+            return (np.asarray(vpn, np.int64) & mask).tolist()
+        return [v & mask for v in vpn]
+    if select == "xor":
+        width = banks.bit_length() - 1
+        if np is not None and vpn:
+            v = np.asarray(vpn, np.int64)
+            folded = (v & mask) ^ ((v >> width) & mask) ^ ((v >> (2 * width)) & mask)
+            return folded.tolist()
+        from repro.tlb.bankselect import xor_fold
+
+        fold = xor_fold(banks)
+        return [fold(v) for v in vpn]
+    raise ValueError(f"unknown bank selection: {select!r}")
+
+
+def pretranslation_tags(encoded: EncodedTrace, offset_tag_bits: int) -> list:
+    """Per-reference pretranslation-cache tag, ``None`` where untaggable.
+
+    The tag is static per trace position — base register concatenated
+    with the upper displacement bits of a load (zero for stores), as
+    :meth:`repro.tlb.pretranslation.PretranslationMechanism.tag_of`
+    computes on-line from each request.
+    """
+    from repro.tlb.pretranslation import OFFSET_TAG_SHIFT
+
+    mask = (1 << offset_tag_bits) - 1
+    n = encoded.n
+    out = [None] * n
+    t_flags = encoded.flags
+    t_base1 = encoded.base1
+    t_off = encoded.off
+    np = _numpy()
+    if np is not None and n:
+        offbits = (
+            (np.asarray(t_off, np.int64) >> OFFSET_TAG_SHIFT) & mask
+        ).tolist()
+        for i in range(n):
+            b = t_base1[i]
+            if b:
+                out[i] = (b - 1, offbits[i] if t_flags[i] & FLAG_LOAD else 0)
+        return out
+    for i in range(n):
+        b = t_base1[i]
+        if b:
+            out[i] = (
+                b - 1,
+                (t_off[i] >> OFFSET_TAG_SHIFT) & mask
+                if t_flags[i] & FLAG_LOAD
+                else 0,
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
 # KERN section codec.
 # ---------------------------------------------------------------------------
 
@@ -341,10 +544,25 @@ def _from_bytes(data: bytes) -> list:
 
 
 def encode_kernel_section(encoded: EncodedTrace) -> bytes:
-    """Serialize encoded arrays to a ``KERN`` section payload."""
+    """Serialize encoded arrays to a ``KERN`` section payload.
+
+    Version 2 appends a geometry sub-layout after the base arrays: a
+    presence flag, then — when geometry is attached — the parameter
+    triple and the four geometry arrays.  Encoding without geometry is
+    legal (the flag is zero) so the section stays design-agnostic when
+    no machine has touched the trace yet.
+    """
     parts = [_KERN_HEAD.pack(_KERN_MAGIC, _KERN_VERSION, encoded.n)]
     for name in _ARRAY_FIELDS:
         parts.append(_to_bytes(getattr(encoded, name)))
+    geo = encoded.geometry
+    if geo is None:
+        parts.append(_GEO_FLAG.pack(0))
+    else:
+        parts.append(_GEO_FLAG.pack(1))
+        parts.append(_GEO_PARAMS.pack(*geo.params))
+        for name in _GEOM_FIELDS:
+            parts.append(_to_bytes(getattr(geo, name)))
     return b"".join(parts)
 
 
@@ -353,6 +571,8 @@ def decode_kernel_section(data: bytes) -> EncodedTrace:
 
     Raises :class:`~repro.func.tracefile.TraceFileError` for truncated
     or corrupt payloads (the artifact store turns that into a miss).
+    Version-1 payloads — which lack the geometry sub-layout — are
+    rejected the same way, so pre-geometry artifacts re-encode cleanly.
     """
     if len(data) < _KERN_HEAD.size:
         raise TraceFileError("truncated kernel section")
@@ -362,15 +582,41 @@ def decode_kernel_section(data: bytes) -> EncodedTrace:
     if version != _KERN_VERSION:
         raise TraceFileError(f"unsupported kernel-section version: {version}")
     stride = count * 8
-    expected = _KERN_HEAD.size + stride * len(_ARRAY_FIELDS)
-    if len(data) != expected:
+    base_end = _KERN_HEAD.size + stride * len(_ARRAY_FIELDS)
+    if len(data) < base_end + _GEO_FLAG.size:
         raise TraceFileError(
             f"kernel section holds {len(data)} bytes; {count} instructions "
-            f"need {expected}"
+            f"need at least {base_end + _GEO_FLAG.size}"
         )
     arrays = []
     pos = _KERN_HEAD.size
     for _ in _ARRAY_FIELDS:
         arrays.append(_from_bytes(data[pos : pos + stride]))
         pos += stride
-    return EncodedTrace(count, *arrays)
+    (geo_flag,) = _GEO_FLAG.unpack_from(data, pos)
+    pos += _GEO_FLAG.size
+    if geo_flag not in (0, 1):
+        raise TraceFileError(f"bad kernel-section geometry flag: {geo_flag}")
+    geometry = None
+    if geo_flag:
+        expected = pos + _GEO_PARAMS.size + stride * len(_GEOM_FIELDS)
+        if len(data) != expected:
+            raise TraceFileError(
+                f"kernel section holds {len(data)} bytes; {count} "
+                f"instructions with geometry need {expected}"
+            )
+        params = _GEO_PARAMS.unpack_from(data, pos)
+        pos += _GEO_PARAMS.size
+        geo_arrays = []
+        for _ in _GEOM_FIELDS:
+            geo_arrays.append(_from_bytes(data[pos : pos + stride]))
+            pos += stride
+        geometry = TraceGeometry(params, *geo_arrays)
+    elif len(data) != pos:
+        raise TraceFileError(
+            f"kernel section holds {len(data)} bytes; {count} instructions "
+            f"without geometry need {pos}"
+        )
+    encoded = EncodedTrace(count, *arrays)
+    encoded.geometry = geometry
+    return encoded

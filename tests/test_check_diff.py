@@ -40,7 +40,7 @@ class TestCleanPoint:
         assert report.ok
         assert report.checks == CHECKS
         assert not report.mismatches
-        assert "4 checks ok" in report.render()
+        assert "5 checks ok" in report.render()
 
 
 class TestLoopDivergence:

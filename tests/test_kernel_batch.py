@@ -1,0 +1,338 @@
+"""Tests for the batch-vectorized kernel backend (:mod:`repro.kernel.batch`).
+
+Four layers are pinned here:
+
+* the **encode-time geometry** — for every workload, the hoisted
+  VPN/block/set/word arrays equal the interpreted engine's on-line
+  per-reference computation, on both the numpy and stdlib legs, and the
+  mechanism-derived arrays (bank index, pretranslation tag) equal what
+  the live mechanisms compute per request;
+* the **KERN v2 codec** — geometry round-trips through the section
+  payload, absence is preserved, parameter mismatches are a clean miss
+  recomputed in place, and corrupt sub-layouts raise
+  :class:`~repro.func.tracefile.TraceFileError`;
+* the **replay machine** — bit-identical MachineStats to the
+  interpreted engine over a spot matrix (the full Figure 5 grid runs
+  via ``python -m repro.check.diff --checks kernel-batch``);
+* the **integration seams** — the ``MachineConfig.kernel_batch``
+  switch, its in-order fallback to the base kernel, the sanity fallback
+  to the interpreter, option/env plumbing, and the inspection CLI.
+"""
+
+import argparse
+import dataclasses
+
+import pytest
+
+from repro.caches.cache import SetAssocCache
+from repro.engine.config import MachineConfig
+from repro.engine.funits import FunctionalUnitPool
+from repro.eval.options import EvalOptions
+from repro.eval.runner import RunRequest, _CACHE, simulate
+from repro.func.dyninst import OPCLASS_INDEX
+from repro.func.tracefile import TraceFileError
+from repro.kernel import (
+    BatchKernelMachine,
+    bank_indices,
+    compute_geometry,
+    decode_kernel_section,
+    encode_kernel_section,
+    encode_trace_arrays,
+    ensure_geometry,
+    geometry_params,
+    pretranslation_tags,
+)
+from repro.kernel.encode import FLAG_MEM, _numpy
+from repro.tlb.interleaved import InterleavedTLB
+from repro.tlb.pretranslation import PretranslationMechanism
+from repro.tlb.request import TranslationRequest
+from repro.workloads import iter_workload_names
+
+FAST = dict(max_instructions=1500)
+
+
+def _trace(workload: str, max_instructions: int = 1500):
+    return _CACHE.get_trace(workload, 32, 32, 1.0, max_instructions)
+
+
+def _stats(req: RunRequest) -> dict:
+    return dataclasses.asdict(simulate(req).stats)
+
+
+class TestGeometryProperty:
+    """Encode-time geometry == the engine's on-line computation."""
+
+    @pytest.mark.parametrize("workload", sorted(iter_workload_names()))
+    @pytest.mark.parametrize("leg", ["numpy", "stdlib"])
+    def test_geometry_matches_online_computation(self, workload, leg, monkeypatch):
+        if leg == "numpy" and _numpy() is None:
+            pytest.skip("numpy unavailable")
+        if leg == "stdlib":
+            monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        trace = _trace(workload)
+        encoded = encode_trace_arrays(trace)
+        config = MachineConfig()
+        geo = compute_geometry(encoded, geometry_params(config))
+        cache = SetAssocCache(
+            config.dcache_size, config.dcache_assoc, config.dcache_block
+        )
+        page_shift = config.page_shift
+        for i, dyn in enumerate(trace):
+            if dyn.decoded.is_mem:
+                ea = dyn.ea
+                assert geo.vpn[i] == ea >> page_shift
+                assert geo.blk[i] == cache.block_of(ea)
+                assert geo.dset[i] == cache.block_of(ea) & cache.set_mask
+                assert geo.word[i] == ea & ~3
+            else:
+                assert geo.vpn[i] == 0
+                assert geo.blk[i] == 0
+                assert geo.dset[i] == 0
+                assert geo.word[i] == 0
+
+    def test_numpy_and_stdlib_geometry_agree(self, monkeypatch):
+        if _numpy() is None:
+            pytest.skip("numpy unavailable")
+        encoded = encode_trace_arrays(_trace("compress"))
+        params = geometry_params(MachineConfig())
+        vectorized = compute_geometry(encoded, params)
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        sequential = compute_geometry(encoded, params)
+        assert vectorized == sequential
+
+    @pytest.mark.parametrize("select", ["bit", "xor"])
+    @pytest.mark.parametrize("leg", ["numpy", "stdlib"])
+    def test_bank_indices_match_mechanism_select(self, select, leg, monkeypatch):
+        if leg == "numpy" and _numpy() is None:
+            pytest.skip("numpy unavailable")
+        if leg == "stdlib":
+            monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        encoded = encode_trace_arrays(_trace("xlisp"))
+        geo = compute_geometry(encoded, geometry_params(MachineConfig()))
+        mech = InterleavedTLB(banks=4, select=select)
+        banks = bank_indices(geo, mech.banks, mech.select_name)
+        assert len(banks) == encoded.n
+        for i in range(encoded.n):
+            assert banks[i] == mech.select(geo.vpn[i])
+
+    def test_unknown_bank_selection_rejected(self):
+        geo = compute_geometry(
+            encode_trace_arrays(_trace("compress")),
+            geometry_params(MachineConfig()),
+        )
+        with pytest.raises(ValueError, match="bank selection"):
+            bank_indices(geo, 4, "hash")
+
+    def test_pretranslation_tags_match_mechanism_tag_of(self):
+        trace = _trace("compress")
+        encoded = encode_trace_arrays(trace)
+        config = MachineConfig()
+        geo = compute_geometry(encoded, geometry_params(config))
+        mech = PretranslationMechanism(page_shift=config.page_shift)
+        tags = pretranslation_tags(encoded, mech.offset_tag_bits)
+        assert len(tags) == encoded.n
+        for i, dyn in enumerate(trace):
+            dec = dyn.decoded
+            if not dec.is_mem:
+                continue
+            req = TranslationRequest(
+                i,
+                geo.vpn[i],
+                0,
+                is_write=dec.is_store,
+                is_load=dec.is_load,
+                base_reg=dec.base_reg,
+                offset=dec.offset if dec.base_reg is not None else 0,
+            )
+            assert tags[i] == mech.tag_of(req)
+
+    def test_fu_descriptors_hoist_losslessly(self):
+        # The per-index FU gather used by both kernels reproduces the
+        # pool descriptor of every instruction's opcode class.
+        trace = _trace("compress")
+        encoded = encode_trace_arrays(trace)
+        pool = FunctionalUnitPool(MachineConfig())
+        fu_map = [None] * len(OPCLASS_INDEX)
+        for oc, triple in pool.class_map().items():
+            fu_map[OPCLASS_INDEX[oc]] = triple
+        for i, dyn in enumerate(trace):
+            assert encoded.fu[i] == dyn.decoded.fu_index
+            assert fu_map[encoded.fu[i]] is not None
+
+    def test_geometry_zero_instructions(self):
+        encoded = encode_trace_arrays([])
+        geo = compute_geometry(encoded, geometry_params(MachineConfig()))
+        assert geo.vpn == [] and geo.blk == [] and geo.dset == [] and geo.word == []
+
+
+class TestGeometryCodec:
+    def test_round_trip_with_geometry(self):
+        encoded = encode_trace_arrays(_trace("compress"))
+        geo = ensure_geometry(encoded, geometry_params(MachineConfig()))
+        again = decode_kernel_section(encode_kernel_section(encoded))
+        assert again == encoded
+        assert again.geometry == geo
+
+    def test_round_trip_without_geometry(self):
+        encoded = encode_trace_arrays(_trace("compress"))
+        assert encoded.geometry is None
+        again = decode_kernel_section(encode_kernel_section(encoded))
+        assert again == encoded
+        assert again.geometry is None
+
+    def test_param_mismatch_is_a_clean_miss(self):
+        encoded = encode_trace_arrays(_trace("compress"))
+        small = ensure_geometry(encoded, geometry_params(MachineConfig()))
+        # A different page size invalidates the cached geometry only.
+        big_params = geometry_params(MachineConfig(page_size=16 * 4096))
+        big = ensure_geometry(encoded, big_params)
+        assert big is encoded.geometry
+        assert big.params == big_params
+        assert big.params != small.params
+        assert big == compute_geometry(encoded, big_params)
+
+    def test_matching_params_reuse_the_attached_geometry(self):
+        encoded = encode_trace_arrays(_trace("compress"))
+        params = geometry_params(MachineConfig())
+        first = ensure_geometry(encoded, params)
+        assert ensure_geometry(encoded, params) is first
+
+    def test_hydrated_geometry_survives_ensure(self):
+        encoded = encode_trace_arrays(_trace("compress"))
+        params = geometry_params(MachineConfig())
+        ensure_geometry(encoded, params)
+        again = decode_kernel_section(encode_kernel_section(encoded))
+        hydrated = again.geometry
+        assert ensure_geometry(again, params) is hydrated
+
+    def test_bad_geometry_flag_rejected(self):
+        encoded = encode_trace_arrays(_trace("compress"))
+        payload = bytearray(encode_kernel_section(encoded))
+        # The geometry flag is the trailing int64 of a no-geometry payload.
+        payload[-8] = 0x7F
+        with pytest.raises(TraceFileError, match="geometry flag"):
+            decode_kernel_section(bytes(payload))
+
+    def test_truncated_geometry_rejected(self):
+        encoded = encode_trace_arrays(_trace("compress"))
+        ensure_geometry(encoded, geometry_params(MachineConfig()))
+        payload = encode_kernel_section(encoded)
+        with pytest.raises(TraceFileError, match="bytes"):
+            decode_kernel_section(payload[:-16])
+
+    def test_geometry_params_reflect_config(self):
+        config = MachineConfig(page_size=16384)
+        page_shift, block_shift, set_mask = geometry_params(config)
+        assert page_shift == 14
+        assert 1 << block_shift == config.dcache_block
+        num_sets = config.dcache_size // (
+            config.dcache_assoc * config.dcache_block
+        )
+        assert set_mask == num_sets - 1
+
+
+class TestBatchBitIdentity:
+    @pytest.mark.parametrize("workload", ["compress", "xlisp"])
+    @pytest.mark.parametrize("design", ["T4", "T1", "M8", "I4", "X4", "P8", "PB1"])
+    def test_batch_matches_interpreter(self, workload, design):
+        interp = RunRequest.create(workload, design, **FAST)
+        batch = RunRequest.create(workload, design, kernel_batch=True, **FAST)
+        assert _stats(batch) == _stats(interp)
+
+    def test_batch_matches_under_plain_loop(self):
+        interp = RunRequest.create(
+            "compress", "I4", event_driven=False, **FAST
+        )
+        batch = RunRequest.create(
+            "compress", "I4", kernel_batch=True, event_driven=False, **FAST
+        )
+        assert _stats(batch) == _stats(interp)
+
+    def test_batch_matches_on_stdlib_leg(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        interp = RunRequest.create("compress", "I4/PB", **FAST)
+        batch = RunRequest.create("compress", "I4/PB", kernel_batch=True, **FAST)
+        assert _stats(batch) == _stats(interp)
+
+    def test_batch_machine_accepts_prebuilt_encoding(self):
+        trace = _trace("compress")
+        config = MachineConfig(kernel_batch=True)
+        req = RunRequest.create("compress", "T1", **FAST)
+        encoded = encode_trace_arrays(trace)
+        result = BatchKernelMachine(
+            config, req.make_mech(config.page_shift), trace, encoded=encoded
+        ).run()
+        again = BatchKernelMachine(
+            config, req.make_mech(config.page_shift), trace
+        ).run()
+        assert result.stats == again.stats
+
+
+class TestBatchRunnerIntegration:
+    def test_inorder_falls_back_to_base_kernel(self):
+        # Only ooo has a batch backend; an in-order request must still
+        # run (through KernelMachine) and stay bit-identical.
+        plain = RunRequest.create("compress", "T4", issue_model="inorder", **FAST)
+        batch = RunRequest.create(
+            "compress", "T4", issue_model="inorder", kernel_batch=True, **FAST
+        )
+        assert _stats(batch) == _stats(plain)
+
+    def test_sanity_falls_back_to_interpreter(self):
+        plain = RunRequest.create("compress", "T4", **FAST)
+        checked = RunRequest.create(
+            "compress", "T4", kernel_batch=True, sanity=True, **FAST
+        )
+        assert _stats(checked) == _stats(plain)
+
+    def test_batch_machine_rejects_inorder(self):
+        trace = _trace("compress")
+        config = MachineConfig(issue_model="inorder")
+        req = RunRequest.create("compress", "T1", **FAST)
+        with pytest.raises(ValueError, match="ooo issue model"):
+            BatchKernelMachine(config, req.make_mech(config.page_shift), trace)
+
+    def test_batch_machine_rejects_sanity(self):
+        trace = _trace("compress")
+        config = MachineConfig(sanity=True)
+        req = RunRequest.create("compress", "T1", **FAST)
+        with pytest.raises(ValueError, match="sanity"):
+            BatchKernelMachine(config, req.make_mech(config.page_shift), trace)
+
+    def test_kernel_batch_config_default_off(self):
+        assert MachineConfig().kernel_batch is False
+
+    def test_options_env_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BATCH", "1")
+        opts = EvalOptions.from_args(argparse.Namespace())
+        assert opts.kernel_batch is True
+        monkeypatch.delenv("REPRO_KERNEL_BATCH")
+        opts = EvalOptions.from_args(argparse.Namespace())
+        assert opts.kernel_batch is False
+
+    def test_profiler_reports_batch_phases(self):
+        from repro.perf import SimProfiler
+
+        prof = SimProfiler()
+        req = RunRequest.create("compress", "T4", kernel_batch=True, **FAST)
+        simulate(req, profiler=prof)
+        assert "kernel_batch_gather" in prof.phase_ns
+        assert "kernel_batch_step" in prof.phase_ns
+        assert "kernel_encode" in prof.phase_ns
+
+
+class TestInspectionCLI:
+    def test_cli_round_trip_ok(self, capsys):
+        from repro.kernel.__main__ import main
+
+        assert main(["compress", "--insts", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "round trip ok" in out
+        assert "geom.vpn" in out
+
+    def test_cli_without_geometry(self, capsys):
+        from repro.kernel.__main__ import main
+
+        assert main(["compress", "--insts", "600", "--no-geometry"]) == 0
+        out = capsys.readouterr().out
+        assert "geom.vpn" not in out
