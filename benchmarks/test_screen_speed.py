@@ -1,0 +1,260 @@
+"""Design-space screening throughput benchmark -> BENCH_screen.json.
+
+Measures the analytical model's scoring throughput (candidate designs
+priced per second by :func:`repro.analysis.atmodel.predict` over a
+>=10^5-point space), the cycle simulator's throughput on the same host
+and budget (designs simulated per second), the ratio between them, and
+the end-to-end wall time of one :func:`repro.eval.screen.screen` job —
+enumerate, calibrate on cycle-simulated anchors, score everything,
+Pareto-select, re-simulate the frontier.
+
+The committed ``benchmarks/BENCH_screen.json`` holds the reference
+numbers; CI re-measures and fails if model scoring throughput regresses
+more than the threshold, or if the model-vs-simulator ratio falls under
+the 1000x the screening tier promises.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/test_screen_speed.py          # print
+    PYTHONPATH=src python benchmarks/test_screen_speed.py --write  # refresh JSON
+    PYTHONPATH=src python benchmarks/test_screen_speed.py --check  # CI gate
+
+``--check`` honors ``REPRO_BENCH_INSTS`` (smaller budgets for smoke
+runs) but always compares against the committed designs/s.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+from time import perf_counter
+
+BENCH_FILE = Path(__file__).resolve().parent / "BENCH_screen.json"
+SCHEMA = 1
+
+WORKLOAD = "xlisp"
+#: Throughput floors the screening tier promises (checked by --check).
+MIN_DESIGNS_PER_S = 10_000
+MIN_SPEEDUP = 1000.0
+
+
+def _big_spec(max_instructions: int):
+    """A >=10^5-point screening spec over one workload."""
+    from repro.eval.screen import ScreenSpec
+
+    return ScreenSpec(
+        workloads=(WORKLOAD,),
+        max_instructions=max_instructions,
+        page_shifts=(12, 13, 14),
+        entries=tuple(range(16, 4112, 16)),
+        multi_ports=(1, 2, 3, 4, 6, 8),
+        piggy_ports=(1, 2, 3, 4),
+        piggy_riders=(1, 2, 3, 4, 6, 8),
+        banks=(2, 4, 8, 16, 32),
+        bank_riders=(0, 1, 2, 3, 4, 6),
+        ml_l1=tuple(2**k for k in range(1, 11)),
+        ml_ports=(1, 2, 4),
+        pret_sizes=tuple(2**k for k in range(1, 11)),
+        pret_ports=(1, 2, 4),
+        simulate=3,
+    )
+
+
+def measure(max_instructions: int = 20_000, repeats: int = 3) -> dict:
+    from repro.analysis import atmodel
+    from repro.analysis.profile import build_profile
+    from repro.eval.options import EvalOptions
+    from repro.eval.resultstore import ResultStore
+    from repro.eval.runner import RunRequest, _CACHE, simulate
+    from repro.eval.screen import enumerate_space, pareto_mask, screen, space_cost
+
+    spec = _big_spec(max_instructions)
+    np = atmodel._require_numpy()
+
+    # -- cycle-simulation throughput: fresh runs, same budget ----------------
+    sim_designs = ("T4", "T1", "M8", "PB1")
+    sim_wall = 0.0
+    for design in sim_designs:
+        req = RunRequest.create(WORKLOAD, design, max_instructions=max_instructions)
+        simulate(req)  # warm the trace/fetch-plan caches
+        start = perf_counter()
+        simulate(req)
+        sim_wall += perf_counter() - start
+    sim_per_s = len(sim_designs) / sim_wall
+
+    # -- calibration inputs (anchor sims + profile, not counted in scoring) --
+    trace = _CACHE.get_trace(WORKLOAD, 32, 32, 1.0, max_instructions)
+    profile = build_profile(trace, WORKLOAD)
+    anchors = {}
+    for mnemonic in spec.anchors:
+        single = atmodel.mnemonic_space([mnemonic])
+        anchors[mnemonic] = simulate(
+            RunRequest.create(
+                WORKLOAD,
+                mnemonic,
+                mechanism=single.mechanism_spec(0),
+                max_instructions=max_instructions,
+            )
+        )
+    cal = atmodel.calibrate(profile, anchors)
+
+    # -- model scoring throughput over the big space -------------------------
+    space = enumerate_space(spec)
+    best_score = float("inf")
+    for _ in range(repeats):
+        start = perf_counter()
+        pred = atmodel.predict(profile, cal, space)
+        best_score = min(best_score, perf_counter() - start)
+    model_per_s = len(space) / best_score
+
+    best_select = float("inf")
+    for _ in range(repeats):
+        start = perf_counter()
+        area, _delay = space_cost(space)
+        mask = pareto_mask(np, area, pred.cpi)
+        best_select = min(best_select, perf_counter() - start)
+    frontier_size = int(mask.sum())
+
+    # -- end-to-end screen: enumerate -> anchors -> score -> frontier sims ---
+    with tempfile.TemporaryDirectory() as tmp:
+        opts = EvalOptions(jobs=1, store=ResultStore(Path(tmp) / "store"))
+        start = perf_counter()
+        result = screen(spec, opts)
+        end_to_end = perf_counter() - start
+
+    return {
+        "schema": SCHEMA,
+        "settings": {
+            "workload": WORKLOAD,
+            "max_instructions": max_instructions,
+            "repeats": repeats,
+            "space_points": len(space),
+            "anchors": list(spec.anchors),
+            "frontier_simulated": spec.simulate,
+            "measurement": "model scoring best-of-repeats over the full "
+            "space; simulator throughput from warm fresh runs; end-to-end "
+            "includes anchor sims, profile build, scoring, frontier sims",
+        },
+        "model": {
+            "designs": len(space),
+            "score_wall_s": round(best_score, 4),
+            "designs_per_s": round(model_per_s),
+            "select_wall_s": round(best_select, 4),
+            "frontier_size": frontier_size,
+        },
+        "simulator": {
+            "designs": len(sim_designs),
+            "wall_s": round(sim_wall, 4),
+            "designs_per_s": round(sim_per_s, 4),
+        },
+        "speedup_vs_simulation": round(model_per_s / sim_per_s),
+        "end_to_end": {
+            "wall_s": round(end_to_end, 4),
+            "designs": result.designs,
+            "frontier_size": len(result.frontier),
+            "simulated": sum(1 for e in result.frontier if e.get("simulated")),
+        },
+    }
+
+
+def _render(payload: dict) -> str:
+    model = payload["model"]
+    sim = payload["simulator"]
+    e2e = payload["end_to_end"]
+    return "\n".join(
+        [
+            "design-space screening throughput",
+            f"  model   : {model['designs_per_s']:>14,} designs/s"
+            f" ({model['designs']:,} designs in {model['score_wall_s']:.3f} s)",
+            f"  simulate: {sim['designs_per_s']:>14,.2f} designs/s"
+            f" (cycle simulator, same budget)",
+            f"  speedup : {payload['speedup_vs_simulation']:,}x model vs simulator",
+            f"  select  : frontier of {model['frontier_size']} in"
+            f" {model['select_wall_s']:.3f} s (cost + Pareto)",
+            f"  end-to-end screen: {e2e['wall_s']:.1f} s for {e2e['designs']:,}"
+            f" designs -> {e2e['frontier_size']} frontier,"
+            f" {e2e['simulated']} re-simulated",
+        ]
+    )
+
+
+def check(payload: dict, threshold: float) -> int:
+    committed = json.loads(BENCH_FILE.read_text())
+    ref = committed["model"]["designs_per_s"]
+    fresh = payload["model"]["designs_per_s"]
+    floor = (1.0 - threshold) * ref
+    ok = fresh >= floor
+    print(
+        f"model scoring: {fresh:,} designs/s vs committed {ref:,}"
+        f" (floor {floor:,.0f}, threshold {threshold:.0%})"
+        f" -> {'OK' if ok else 'REGRESSION'}"
+    )
+    if fresh < MIN_DESIGNS_PER_S:
+        print(f"ABSOLUTE FLOOR VIOLATED: {fresh:,} < {MIN_DESIGNS_PER_S:,} designs/s")
+        ok = False
+    if payload["speedup_vs_simulation"] < MIN_SPEEDUP:
+        print(
+            f"SPEEDUP FLOOR VIOLATED: {payload['speedup_vs_simulation']}x"
+            f" < {MIN_SPEEDUP:.0f}x vs simulation"
+        )
+        ok = False
+    return 0 if ok else 1
+
+
+# -- pytest entry points ------------------------------------------------------
+
+
+def test_screen_speed(benchmark):
+    from conftest import archive, bench_insts
+
+    payload = benchmark.pedantic(
+        measure, kwargs={"max_instructions": bench_insts()}, rounds=1, iterations=1
+    )
+    archive("screen_speed", _render(payload))
+    assert payload["model"]["designs"] >= 100_000
+    assert payload["model"]["designs_per_s"] >= MIN_DESIGNS_PER_S
+    assert payload["speedup_vs_simulation"] >= MIN_SPEEDUP
+    assert payload["end_to_end"]["simulated"] > 0
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write", action="store_true", help=f"refresh {BENCH_FILE.name}"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit 1 if model scoring regressed vs {BENCH_FILE.name}",
+    )
+    parser.add_argument("--insts", type=int, default=None, help="instruction budget")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed fractional regression for --check (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+    import os
+
+    insts = args.insts or int(os.environ.get("REPRO_BENCH_INSTS", 20_000))
+    payload = measure(max_instructions=insts, repeats=args.repeats)
+    print(_render(payload))
+    if args.check:
+        return check(payload, args.threshold)
+    if args.write:
+        BENCH_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {BENCH_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    raise SystemExit(main())

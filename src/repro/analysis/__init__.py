@@ -13,17 +13,47 @@ These support (and extend) the paper's evaluation:
 ``demand``
     Translation bandwidth-demand summaries from timing runs (the
     measured distribution of simultaneous requests per cycle).
+``profile``
+    One-pass workload profiles for the analytical model: per-page-size
+    reference-stream statistics (miss curves, duplicate fractions,
+    shield hit rates) plus the demand histogram, cacheable as artifacts.
+``atmodel``
+    The analytical translation-cost model itself: a vectorized
+    predictor of per-design translation stalls and CPI, calibrated per
+    workload against a handful of cycle-simulated anchor runs.  Feeds
+    :mod:`repro.eval.screen`, which turns design-space sweeps into
+    Pareto search.
 """
 
+from repro.analysis.atmodel import (
+    Calibration,
+    DesignSpace,
+    Prediction,
+    calibrate,
+    mnemonic_space,
+    predict,
+    stall_components,
+)
 from repro.analysis.demand import demand_profile, DemandProfile
+from repro.analysis.profile import AnalysisProfile, ProfileParams, build_profile
 from repro.analysis.reusedist import StackDistanceAnalyzer, lru_miss_curve
 from repro.analysis.spatial import SpatialProfile, profile_workload
 
 __all__ = [
+    "AnalysisProfile",
+    "Calibration",
     "DemandProfile",
+    "DesignSpace",
+    "Prediction",
+    "ProfileParams",
     "SpatialProfile",
     "StackDistanceAnalyzer",
+    "build_profile",
+    "calibrate",
     "demand_profile",
     "lru_miss_curve",
+    "mnemonic_space",
+    "predict",
     "profile_workload",
+    "stall_components",
 ]

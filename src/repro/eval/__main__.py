@@ -7,6 +7,7 @@ Usage::
     python -m repro.eval figure6 [--insts N]
     python -m repro.eval figure7|figure8|figure9 ...
     python -m repro.eval scorecard [--jobs 4]
+    python -m repro.eval --screen [--workloads ...] [--simulate N]
     python -m repro.eval figure5 --server            # use a running daemon
 
 Timing grids fan out across ``--jobs`` worker processes (scheduled at
@@ -47,6 +48,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
         choices=[
             "table3",
             "figure5",
@@ -56,6 +58,19 @@ def main(argv: list[str] | None = None) -> int:
             "figure9",
             "scorecard",
         ],
+    )
+    parser.add_argument(
+        "--screen",
+        action="store_true",
+        help="screen the design space with the analytical model and "
+        "simulate only the Pareto frontier (instead of an experiment)",
+    )
+    parser.add_argument(
+        "--simulate",
+        type=int,
+        default=8,
+        help="with --screen: frontier designs to confirm by simulation "
+        "(default 8)",
     )
     parser.add_argument(
         "--insts",
@@ -82,6 +97,10 @@ def main(argv: list[str] | None = None) -> int:
         "serial execution and fresh simulations)",
     )
     args = parser.parse_args(argv)
+    if args.screen and args.experiment:
+        parser.error("--screen replaces the experiment argument")
+    if not args.screen and not args.experiment:
+        parser.error("an experiment name (or --screen) is required")
 
     workloads = args.workloads.split(",") if args.workloads else None
     progress = None if args.quiet else lambda msg: print(f"  .. {msg}", file=sys.stderr)
@@ -102,7 +121,24 @@ def main(argv: list[str] | None = None) -> int:
             opts = opts.replace(profiler=SimProfiler())
 
     started = time.time()
-    if args.experiment == "scorecard":
+    if args.screen:
+        from repro.eval.screen import ScreenResult, ScreenSpec, screen
+
+        spec = ScreenSpec(
+            workloads=tuple(workloads or ()),
+            max_instructions=args.insts,
+            simulate=args.simulate,
+        )
+        if opts.server is not None:
+            from repro.serve.client import screen_remote
+
+            result = ScreenResult.from_payload(
+                screen_remote(spec.to_dict(), address=opts.server)
+            )
+        else:
+            result = screen(spec, opts)
+        print(result.render())
+    elif args.experiment == "scorecard":
         from repro.eval.claims import run_scorecard
 
         result = run_scorecard(
@@ -134,7 +170,8 @@ def main(argv: list[str] | None = None) -> int:
         print(render_figure(result))
     if opts.profiler is not None:
         print(f"\n{opts.profiler.render()}", file=sys.stderr)
-    print(f"\n[{args.experiment} regenerated in {time.time() - started:.1f}s]", file=sys.stderr)
+    what = args.experiment or "screen"
+    print(f"\n[{what} regenerated in {time.time() - started:.1f}s]", file=sys.stderr)
     if opts.server is not None:
         print(f"[evaluated by server: {opts.server}]", file=sys.stderr)
     if opts.store is not None:

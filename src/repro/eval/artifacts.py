@@ -37,12 +37,19 @@ import os
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.analysis.profile import (
+    AnalysisProfile,
+    ProfileParams,
+    decode_profile_section,
+    encode_profile_section,
+)
 from repro.engine.frontend import FetchPlan, decode_fetch_plan, encode_fetch_plan
 from repro.eval.resultstore import code_fingerprint
 from repro.func.dyninst import DynInst
 from repro.func.tracefile import (
     SECTION_KERNEL,
     SECTION_PLAN,
+    SECTION_PROFILE,
     SECTION_PROGRAM,
     SECTION_TRACE,
     TraceFileError,
@@ -177,6 +184,47 @@ class ArtifactStore:
         except (OSError, TraceFileError):
             return None
         sections[SECTION_KERNEL] = encode_kernel_section(encoded)
+        return self._write(path, sections)
+
+    # -- analysis-profile artifacts -------------------------------------------
+
+    def load_profile(
+        self, axes: BuildAxes, params: ProfileParams
+    ) -> "AnalysisProfile | None":
+        """Hydrate the analysis profile for ``axes``, or None on a miss.
+
+        Mirrors the ``KERN`` contract: the ``PROF`` section rides in the
+        build container (a profile is a pure function of the trace plus
+        ``params``), and a corrupt section, wrong payload version, or
+        ``params`` mismatch all read as clean misses — the caller
+        re-profiles and :meth:`save_profile` overwrites the section.
+        """
+        path = self.build_path(axes)
+        try:
+            sections = read_container(path)
+            profile = decode_profile_section(sections[SECTION_PROFILE])
+        except (OSError, KeyError, ValueError, TraceFileError):
+            self.stats.misses += 1
+            return None
+        if profile.params != params:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return profile
+
+    def save_profile(self, axes: BuildAxes, profile: AnalysisProfile) -> "Path | None":
+        """Merge the analysis profile into the build container.
+
+        Preserves every other section and rewrites atomically, exactly
+        like :meth:`save_kernel`; returns None when no build container
+        exists yet (nothing to attach to).
+        """
+        path = self.build_path(axes)
+        try:
+            sections = read_container(path)
+        except (OSError, TraceFileError):
+            return None
+        sections[SECTION_PROFILE] = encode_profile_section(profile)
         return self._write(path, sections)
 
     # -- fetch-plan artifacts -------------------------------------------------

@@ -189,4 +189,46 @@ class ResultStore:
             for path in self.root.glob("??/*.json"):
                 path.unlink()
                 removed += 1
+            for path in self.root.glob("aux/*.json"):
+                path.unlink()
+                removed += 1
         return removed
+
+    # -- auxiliary derived results -------------------------------------------
+
+    def aux_key(self, kind: str, spec: dict) -> str:
+        """Key for a derived (non-RunResult) entry, e.g. a screen summary.
+
+        Same discipline as :meth:`key`: the canonical JSON of the
+        describing ``spec`` plus the code fingerprint, so any source
+        change or spec change invalidates the entry.
+        """
+        payload = json.dumps(
+            {"kind": kind, "spec": spec, "code": self.fingerprint},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def aux_path(self, kind: str, spec: dict) -> Path:
+        return self.root / "aux" / f"{self.aux_key(kind, spec)}.json"
+
+    def get_aux(self, kind: str, spec: dict) -> "dict | None":
+        """The stored derived entry for (kind, spec), or None on a miss."""
+        try:
+            value = json.loads(self.aux_path(kind, spec).read_text())
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put_aux(self, kind: str, spec: dict, value: dict) -> Path:
+        """Persist a derived entry atomically (same layout rules as put)."""
+        path = self.aux_path(kind, spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{path.stem}.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(value, sort_keys=True))
+        os.replace(tmp, path)
+        self.stats.puts += 1
+        return path

@@ -57,6 +57,8 @@ SECTION_TRACE = b"TRCE"
 SECTION_PLAN = b"PLAN"
 #: Encoded kernel-replay arrays (see :mod:`repro.kernel.encode`).
 SECTION_KERNEL = b"KERN"
+#: Per-workload analysis profile (see :mod:`repro.analysis.profile`).
+SECTION_PROFILE = b"PROF"
 
 #: Sections this build of the reader understands.  Unknown tags are
 #: *retained*, not rejected: a version-2 container written by a newer
@@ -67,7 +69,7 @@ SECTION_KERNEL = b"KERN"
 #: validity is structural: exactly 4 printable ASCII bytes, which
 #: distinguishes a future extension from a corrupt or foreign file.
 KNOWN_SECTIONS = frozenset(
-    (SECTION_PROGRAM, SECTION_TRACE, SECTION_PLAN, SECTION_KERNEL)
+    (SECTION_PROGRAM, SECTION_TRACE, SECTION_PLAN, SECTION_KERNEL, SECTION_PROFILE)
 )
 
 

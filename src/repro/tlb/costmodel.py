@@ -42,6 +42,15 @@ from dataclasses import dataclass
 
 _BASELINE_ENTRIES = 128
 
+#: Crossbar area per switch point (an interleaved design pays
+#: ``ldst_ports x banks`` of them) and its fixed delay adder.
+CROSSBAR_AREA_PER_POINT = 0.05
+CROSSBAR_DELAY = 0.15
+#: Processor-side ports feeding an interleaved crossbar.
+CROSSBAR_PORTS = 4
+#: One piggyback port = one comparator + gating.
+PIGGYBACK_COMPARATOR_AREA = 0.25
+
 
 def _array_delay(entries: int, ports: int = 1) -> float:
     """Relative delay of a fully-associative array lookup."""
@@ -57,6 +66,28 @@ def _array_area(entries: int, ports: int = 1) -> float:
     if ports <= 0:
         raise ValueError(f"ports must be positive: {ports}")
     return entries * ports * ports
+
+
+def array_area_arrays(entries, ports):
+    """Vectorized :func:`_array_area`: numpy arrays in, array out.
+
+    Same formula — ``entries * ports**2`` single-ported entry
+    equivalents — applied elementwise, so the screening pipeline
+    (:mod:`repro.eval.screen`) prices whole design spaces with the same
+    constants :func:`design_cost` uses for single mnemonics.
+    """
+    return entries * ports * ports
+
+
+def array_delay_arrays(entries, ports):
+    """Vectorized :func:`_array_delay` (requires numpy)."""
+    import numpy as np
+
+    size_term = 0.5 + 0.5 * (
+        np.log2(np.maximum(entries, 1)) / math.log2(_BASELINE_ENTRIES)
+    )
+    port_term = 1.0 + 0.15 * (ports - 1)
+    return size_term * port_term
 
 
 @dataclass
@@ -91,11 +122,13 @@ def design_cost(mnemonic: str) -> DesignCost:
     if name in ("I8", "I4", "X4"):
         banks = int(name[1])
         bank_entries = 128 // banks
-        crossbar = 0.05 * banks * banks * 4  # ports x banks switch points
+        crossbar = (
+            CROSSBAR_AREA_PER_POINT * banks * banks * CROSSBAR_PORTS
+        )  # ports x banks switch points
         return DesignCost(
             name,
             area=_array_area(bank_entries, 1) * banks + crossbar,
-            hit_latency=_array_delay(bank_entries, 1) + 0.15,
+            hit_latency=_array_delay(bank_entries, 1) + CROSSBAR_DELAY,
             note="single-ported banks + crossbar adder",
         )
     if name in ("M16", "M8", "M4"):
@@ -124,7 +157,7 @@ def design_cost(mnemonic: str) -> DesignCost:
         riders = 2 if name == "PB2" else 3
         return DesignCost(
             name,
-            area=_array_area(128, ports) + 0.25 * riders,
+            area=_array_area(128, ports) + PIGGYBACK_COMPARATOR_AREA * riders,
             hit_latency=_array_delay(128, ports),  # gate on hit signal only
             note=f"{ports} real ports + {riders} comparators",
         )
@@ -132,7 +165,7 @@ def design_cost(mnemonic: str) -> DesignCost:
         base = design_cost("I4")
         return DesignCost(
             name,
-            area=base.area + 0.25 * 3 * 4,
+            area=base.area + PIGGYBACK_COMPARATOR_AREA * 3 * 4,
             hit_latency=base.hit_latency,
             note="I4 plus per-bank piggyback comparators",
         )

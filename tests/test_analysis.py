@@ -52,12 +52,55 @@ class TestStackDistance:
             a.touch(page)
         assert a.distinct_pages() == 3
 
-    def test_capacity_overflow_guarded(self):
+    def test_stream_longer_than_expected_grows(self):
+        """Streams past ``expected_references`` degrade gracefully."""
         a = StackDistanceAnalyzer(expected_references=4)
-        for page in range(4):
-            a.touch(page)
-        with pytest.raises(OverflowError):
-            a.touch(9)
+        reference = StackDistanceAnalyzer()
+        stream = [p % 3 for p in range(40)]
+        for page in stream:
+            assert a.touch(page) == reference.touch(page)
+        assert a.histogram == reference.histogram
+
+    def test_empty_stream_defined(self):
+        a = StackDistanceAnalyzer()
+        assert a.miss_rate(8) == 0.0
+        assert a.distinct_pages() == 0
+        assert lru_miss_curve([]) == {c: 0.0 for c in (4, 8, 16, 32, 64, 128)}
+
+    def test_cold_only_stream_all_miss(self):
+        a = StackDistanceAnalyzer.from_pages([1, 2, 3, 4])
+        assert a.cold == 4 and a.histogram == {}
+        assert a.miss_rate(128) == 1.0
+
+    @given(pages=st.lists(st.integers(0, 9), max_size=120))
+    @settings(max_examples=50, deadline=None)
+    def test_vectorized_and_streaming_distances_identical(self, pages):
+        import os
+
+        from repro.analysis.reusedist import compute_stack_distances
+
+        vectorized = compute_stack_distances(pages)
+        prior = os.environ.get("REPRO_NO_NUMPY")
+        os.environ["REPRO_NO_NUMPY"] = "1"
+        try:
+            fallback = compute_stack_distances(pages)
+        finally:
+            if prior is None:
+                os.environ.pop("REPRO_NO_NUMPY", None)
+            else:
+                os.environ["REPRO_NO_NUMPY"] = prior
+        assert fallback == vectorized
+
+    @given(pages=st.lists(st.integers(0, 9), max_size=120))
+    @settings(max_examples=50, deadline=None)
+    def test_bulk_build_matches_streaming(self, pages):
+        bulk = StackDistanceAnalyzer.from_pages(pages)
+        streamed = StackDistanceAnalyzer()
+        for page in pages:
+            streamed.touch(page)
+        assert bulk.histogram == streamed.histogram
+        assert bulk.cold == streamed.cold
+        assert bulk.distinct_pages() == streamed.distinct_pages()
 
     @given(
         pages=st.lists(st.integers(0, 12), min_size=1, max_size=300),
@@ -80,6 +123,15 @@ class TestStackDistance:
         curve = lru_miss_curve(pages)
         rates = [curve[c] for c in sorted(curve)]
         assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+
+    @given(pages=st.lists(st.integers(0, 30), max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_curve_monotone_property(self, pages):
+        """Bigger TLBs never miss more: holds for any stream."""
+        curve = lru_miss_curve(pages, capacities=(1, 2, 4, 8, 16, 32))
+        rates = [curve[c] for c in sorted(curve)]
+        assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+        assert all(0.0 <= r <= 1.0 for r in rates)
 
 
 class TestSpatialProfile:

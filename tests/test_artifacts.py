@@ -78,6 +78,54 @@ class TestArtifactStore:
         assert len(store) == 0
 
 
+class TestProfileArtifacts:
+    """The PROF section follows the KERN contract: ride in the build
+    container, clean miss on corruption or parameter mismatch."""
+
+    pytest.importorskip("numpy")
+
+    def _store_with_profile(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.analysis.profile import ProfileParams, build_profile
+
+        store = ArtifactStore(tmp_path)
+        build, trace = _fresh_build_and_trace()
+        store.save_build(AXES, build.program, trace)
+        profile = build_profile(trace, AXES[0])
+        return store, profile, ProfileParams(), replace
+
+    def test_round_trip(self, tmp_path):
+        store, profile, params, _ = self._store_with_profile(tmp_path)
+        assert store.load_profile(AXES, params) is None  # not saved yet
+        assert store.save_profile(AXES, profile) is not None
+        hydrated = store.load_profile(AXES, params)
+        assert hydrated is not None
+        assert hydrated.to_payload() == profile.to_payload()
+        # Other sections survive the merge.
+        assert store.load_build(AXES) is not None
+
+    def test_params_mismatch_is_clean_miss(self, tmp_path):
+        store, profile, params, replace = self._store_with_profile(tmp_path)
+        store.save_profile(AXES, profile)
+        other = replace(params, windows=(2,))
+        assert store.load_profile(AXES, other) is None
+        assert store.load_profile(AXES, params) is not None
+
+    def test_save_without_build_container_is_noop(self, tmp_path):
+        store, profile, params, _ = self._store_with_profile(tmp_path)
+        missing = ("xlisp", 32, 32, 1.0, 999)
+        assert store.save_profile(missing, profile) is None
+        assert store.load_profile(missing, params) is None
+
+    def test_corrupt_container_is_clean_miss(self, tmp_path):
+        store, profile, params, _ = self._store_with_profile(tmp_path)
+        store.save_profile(AXES, profile)
+        path = store.build_path(AXES)
+        path.write_bytes(b"garbage" + path.read_bytes()[:32])
+        assert store.load_profile(AXES, params) is None
+
+
 class TestBuildCacheHydration:
     def test_cache_hydrates_before_building(self, tmp_path):
         store = ArtifactStore(tmp_path)
