@@ -1,0 +1,120 @@
+"""Regenerate the committed Valgrind-lackey trace fixture.
+
+Emits a deterministic ``lackey``-style instruction/memory trace
+(``I pc,len`` / `` L|S|M addr,size`` lines, same shape as
+``valgrind --tool=lackey --trace-mem=yes`` output) to
+``benchmarks/fixtures/lackey_mixed.log.gz``.  The synthetic "program"
+interleaves three phases with distinct translation behavior — a dense
+sequential array sweep, a pointer-chasing walk over a large heap, and a
+call-heavy stack phase — so the ingested workload exercises the same
+regimes the registered synthetic workloads do.
+
+The generator is seeded and stdlib-only; committing its output keeps CI
+hermetic while this script documents (and can reproduce) the bytes.
+
+Usage::
+
+    python benchmarks/make_lackey_fixture.py [--records 170000] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gzip
+from pathlib import Path
+
+DEFAULT_OUT = Path(__file__).resolve().parent / "fixtures" / "lackey_mixed.log.gz"
+
+
+class Lcg:
+    """Tiny deterministic PRNG (no host ``random`` involvement)."""
+
+    def __init__(self, seed: int) -> None:
+        self.state = seed & 0x7FFFFFFF or 1
+
+    def next(self, bound: int) -> int:
+        self.state = (self.state * 1103515245 + 12345) & 0x7FFFFFFF
+        return self.state % bound
+
+
+def generate(records: int, seed: int = 1996):
+    """Yield lackey lines totalling at least ``records`` trace records."""
+    rng = Lcg(seed)
+    emitted = 0
+    yield "==4242== Lackey, an example Valgrind tool"
+    yield "==4242== Command: ./mixed_phases"
+
+    # Static code layout: three "functions" of straight-line blocks.
+    sweep_base, chase_base, stack_base = 0x0040_0000, 0x0040_2000, 0x0040_4000
+    heap, stack_top = 0x0500_0000, 0x7FFF_F000
+    chase_ptr = heap
+
+    while emitted < records:
+        phase = rng.next(10)
+        if phase < 5:
+            # Dense sequential sweep: high page locality, long basic block.
+            row = rng.next(512) * 64
+            for i in range(8):
+                pc = sweep_base + i * 4
+                yield f"I  {pc:08X},4"
+                emitted += 1
+                if i % 2 == 0:
+                    yield f" L {heap + row + i * 8:08X},8"
+                    emitted += 1
+                elif i == 7:
+                    yield f" S {heap + row:08X},8"
+                    emitted += 1
+            # loop branch back to the block head
+            yield f"I  {sweep_base + 32:08X},4"
+            emitted += 1
+        elif phase < 8:
+            # Pointer chase: dependent loads scattered over many pages.
+            for i in range(4):
+                pc = chase_base + i * 4
+                yield f"I  {pc:08X},4"
+                emitted += 1
+                if i == 1:
+                    chase_ptr = heap + rng.next(4096) * 4096 + rng.next(64) * 8
+                    yield f" L {chase_ptr:08X},8"
+                    emitted += 1
+                elif i == 3:
+                    yield f" M {chase_ptr + 16:08X},4"
+                    emitted += 1
+            yield f"I  {chase_base + 64:08X},4"  # taken transfer
+            emitted += 1
+        else:
+            # Call-heavy stack phase: stores then loads near the stack top.
+            frame = stack_top - rng.next(64) * 16
+            for i in range(6):
+                pc = stack_base + i * 4
+                yield f"I  {pc:08X},4"
+                emitted += 1
+                if i < 2:
+                    yield f" S {frame - i * 8:08X},8"
+                    emitted += 1
+                elif i > 3:
+                    yield f" L {frame - (i - 4) * 8:08X},8"
+                    emitted += 1
+            yield f"I  {stack_base + 96:08X},4"
+            emitted += 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=170_000)
+    parser.add_argument("--seed", type=int, default=1996)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args()
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    # mtime=0 so regeneration is byte-stable.
+    with gzip.GzipFile(args.out, "wb", mtime=0) as handle:
+        for line in generate(args.records, args.seed):
+            handle.write((line + "\n").encode())
+            count += 1
+    print(f"wrote {args.out} ({count} lines, >= {args.records} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,13 +17,14 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import os
 
 from repro.analysis.demand import demand_profile
 from repro.analysis.reusedist import StackDistanceAnalyzer
 from repro.analysis.spatial import profile_workload
+from repro.env import env_bool
 from repro.eval.options import add_eval_args
 from repro.eval.runner import RunRequest, run_one
+from repro.ingest.build import add_trace_args, trace_workload_from_args
 from repro.func.executor import Executor
 from repro.tlb.factory import DESIGN_MNEMONICS, EXTENSION_MNEMONICS
 from repro.workloads import iter_workload_names, make_workload
@@ -50,8 +51,15 @@ def _cmd_run(args) -> int:
         from repro.eval.runner import configure_artifacts
 
         configure_artifacts(ArtifactStore(args.artifacts or None))
+    workload = trace_workload_from_args(args)
+    if workload is None:
+        if args.workload is None:
+            raise SystemExit("error: a workload name (or --trace FILE) is required")
+        workload = args.workload
+    elif args.workload is not None:
+        raise SystemExit("error: give a workload name or --trace, not both")
     req = RunRequest.create(
-        args.workload,
+        workload,
         args.design,
         issue_model="inorder" if args.inorder else "ooo",
         page_size=args.pages,
@@ -59,10 +67,11 @@ def _cmd_run(args) -> int:
         fp_regs=args.regs,
         max_instructions=args.insts,
         **({"model_itlb": True} if args.itlb else {}),
-        **({"kernel": True} if args.kernel or os.environ.get("REPRO_KERNEL") else {}),
+        # Flag > environment (via env_bool, so REPRO_KERNEL=0 disables).
+        **({"kernel": True} if args.kernel or env_bool("REPRO_KERNEL") else {}),
         **(
             {"kernel_batch": True}
-            if args.kernel_batch or os.environ.get("REPRO_KERNEL_BATCH")
+            if args.kernel_batch or env_bool("REPRO_KERNEL_BATCH")
             else {}
         ),
     )
@@ -74,7 +83,13 @@ def _cmd_run(args) -> int:
     result = run_one(req, profiler=profiler)
     s = result.stats
     t = s.translation
-    print(f"{args.workload} / {args.design}:")
+    if args.workload is None:
+        from repro.ingest.build import parse_workload
+
+        label = parse_workload(workload).display
+    else:
+        label = args.workload
+    print(f"{label} / {args.design}:")
     print(f"  cycles              {s.cycles}")
     print(f"  committed           {s.committed}  (IPC {s.commit_ipc:.3f})")
     print(f"  issued              {s.issued}  (IPC {s.issue_ipc:.3f}, incl. wrong path)")
@@ -163,7 +178,10 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list", help="list workloads and designs")
 
     p_run = sub.add_parser("run", help="one timing run")
-    p_run.add_argument("workload")
+    p_run.add_argument(
+        "workload", nargs="?", default=None,
+        help="registered workload name (omit when replaying --trace)",
+    )
     p_run.add_argument("design")
     p_run.add_argument("--insts", type=int, default=40_000)
     p_run.add_argument("--inorder", action="store_true")
@@ -180,6 +198,7 @@ def main(argv: list[str] | None = None) -> int:
     # Single runs take only the artifact knob of the shared engine
     # flags (no grid: nothing to shard or memoize).
     add_eval_args(p_run, jobs=False, cache=False, artifacts=True)
+    add_trace_args(p_run)
 
     p_prof = sub.add_parser("profile", help="spatial locality profile")
     p_prof.add_argument("workload")

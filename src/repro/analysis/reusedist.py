@@ -39,13 +39,13 @@ reshapes, per-block sorts, and one flat ``searchsorted`` per level.
 
 from __future__ import annotations
 
-import os
+from repro.env import env_bool
 from typing import Iterable, Sequence
 
 
 def _numpy():
     """numpy, or ``None`` when absent or disabled via REPRO_NO_NUMPY."""
-    if os.environ.get("REPRO_NO_NUMPY"):
+    if env_bool("REPRO_NO_NUMPY"):
         return None
     try:
         import numpy

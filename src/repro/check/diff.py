@@ -47,6 +47,7 @@ from repro.eval.artifacts import ArtifactStore
 from repro.eval.runner import RunRequest, _CACHE, simulate
 from repro.func.executor import run_program
 from repro.func.tracefile import decode_program, encode_program
+from repro.ingest.build import is_trace_workload
 from repro.kernel import capture_batch_timelines, capture_kernel_timelines
 
 #: The redundant paths one differential run exercises.
@@ -194,14 +195,20 @@ def _record_fields(dyn) -> tuple:
 def _check_artifacts(req: RunRequest, mismatches: list[Mismatch]) -> None:
     """The cached (hydrated-from-disk) path must equal the uncached one."""
     axes = (req.workload, req.int_regs, req.fp_regs, req.scale, req.max_instructions)
-    build = _CACHE.get(req.workload, req.int_regs, req.fp_regs, req.scale)
+    if is_trace_workload(req.workload):
+        # Ingested workloads have no WorkloadBuild; their synthesized
+        # program lives in the build cache's ingested map.  The codec
+        # round trip under test is the same either way.
+        program = _CACHE.get_ingested_program(*axes)
+    else:
+        program = _CACHE.get(req.workload, req.int_regs, req.fp_regs, req.scale).program
     trace = _CACHE.get_trace(*axes)
     config = dataclasses.replace(req.machine_config(), sanity=False)
     fetch_key = fetch_config_key(config)
     plan = build_fetch_plan(trace, config)
     with tempfile.TemporaryDirectory(prefix="repro-check-") as tmp:
         store = ArtifactStore(tmp, fingerprint="check")
-        store.save_build(axes, build.program, trace)
+        store.save_build(axes, program, trace)
         store.save_plan(axes, fetch_key, plan)
         hydrated = store.load_build(axes)
         if hydrated is None:
@@ -510,6 +517,10 @@ def run_differential(
     unknown = set(checks) - set(CHECKS)
     if unknown:
         raise ValueError(f"unknown check(s): {sorted(unknown)}")
+    if is_trace_workload(req.workload):
+        # An ingested trace has no functional executor to cross-check
+        # against; every other redundant path applies unchanged.
+        checks = tuple(c for c in checks if c != "functional")
     report = DiffReport(request=req, checks=tuple(checks))
     timing = None
     if "loops" in checks or "functional" in checks:
@@ -577,14 +588,23 @@ def main(argv=None) -> int:
         metavar="N",
         help="instructions simulated per run (default: 5000)",
     )
+    from repro.ingest.build import add_trace_args, trace_workload_from_args
+
+    add_trace_args(parser)
     args = parser.parse_args(argv)
 
     checks = tuple(c for c in args.checks.split(",") if c)
-    workloads = (
-        sorted(iter_workload_names())
-        if args.workloads == "all"
-        else args.workloads.split(",")
-    )
+    if args.trace is not None:
+        # The ingested-workload leg: run the same redundant-path checks
+        # over an external trace (functional is skipped automatically —
+        # there is no functional executor behind an ingested stream).
+        workloads = [trace_workload_from_args(args)]
+    else:
+        workloads = (
+            sorted(iter_workload_names())
+            if args.workloads == "all"
+            else args.workloads.split(",")
+        )
     designs = (
         list(DESIGN_MNEMONICS) if args.designs == "all" else args.designs.split(",")
     )

@@ -39,6 +39,7 @@ from repro.eval.experiments import EXPERIMENTS, run_figure, run_table3
 from repro.eval.missrates import run_figure6
 from repro.eval.options import EvalOptions, add_eval_args
 from repro.eval.report import render_figure, render_figure6, render_table3
+from repro.ingest.build import add_trace_args, trace_workload_from_args
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -89,6 +90,7 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated workload subset (default: all ten)",
     )
     add_eval_args(parser, jobs=True, cache=True, artifacts=True, server=True)
+    add_trace_args(parser)
     parser.add_argument("--quiet", action="store_true", help="suppress progress lines")
     parser.add_argument(
         "--profile",
@@ -103,6 +105,15 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("an experiment name (or --screen) is required")
 
     workloads = args.workloads.split(",") if args.workloads else None
+    if args.trace is not None:
+        # An ingested trace replays as the (single) workload: the minted
+        # token is an ordinary workload name to everything downstream.
+        if args.experiment == "figure6":
+            parser.error("figure6 re-runs the functional simulator; an "
+                         "ingested trace has none (--trace does not apply)")
+        if workloads:
+            parser.error("--trace and --workloads are mutually exclusive")
+        workloads = [trace_workload_from_args(args)]
     progress = None if args.quiet else lambda msg: print(f"  .. {msg}", file=sys.stderr)
     if args.experiment == "figure6":
         # Figure 6 is trace-driven: the engine knobs do not apply.

@@ -47,14 +47,17 @@ from repro.engine.frontend import FetchPlan, decode_fetch_plan, encode_fetch_pla
 from repro.eval.resultstore import code_fingerprint
 from repro.func.dyninst import DynInst
 from repro.func.tracefile import (
+    SECTION_EXTERN,
     SECTION_KERNEL,
     SECTION_PLAN,
     SECTION_PROFILE,
     SECTION_PROGRAM,
     SECTION_TRACE,
     TraceFileError,
+    decode_extern_meta,
     decode_program,
     decode_trace,
+    encode_extern_meta,
     encode_program,
     encode_trace,
     read_container,
@@ -141,6 +144,54 @@ class ArtifactStore:
             {
                 SECTION_PROGRAM: encode_program(program),
                 SECTION_TRACE: encode_trace(trace, len(program)),
+            },
+        )
+
+    # -- ingested-trace builds ------------------------------------------------
+
+    def load_ingested(
+        self, axes: BuildAxes, digest_prefix: str, window_payload: dict
+    ) -> "tuple[Program, list[DynInst], dict] | None":
+        """Hydrate an ingested external-trace build, or None on a miss.
+
+        Same container family as :meth:`load_build` plus the ``EXTR``
+        provenance section, which is *verified* against the requesting
+        workload token: a missing/corrupt section, a different source
+        digest, or a different window policy all read as clean misses
+        (the caller recompiles from the portable trace and overwrites).
+        The key already folds the token in via ``axes``, so a verified
+        mismatch means the file on disk is damaged or foreign, never
+        that two workloads collided.
+        """
+        path = self.build_path(axes)
+        try:
+            sections = read_container(path)
+            meta = decode_extern_meta(sections[SECTION_EXTERN])
+            program = decode_program(sections[SECTION_PROGRAM])
+            trace = decode_trace(sections[SECTION_TRACE], program)
+        except (OSError, KeyError, TraceFileError):
+            self.stats.misses += 1
+            return None
+        if (
+            not str(meta.get("source_digest", "")).startswith(digest_prefix)
+            or not digest_prefix
+            or meta.get("window") != window_payload
+        ):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return program, trace, meta
+
+    def save_ingested(
+        self, axes: BuildAxes, program: Program, trace: list, meta: dict
+    ) -> Path:
+        """Persist an ingested build (program + trace + provenance)."""
+        return self._write(
+            self.build_path(axes),
+            {
+                SECTION_PROGRAM: encode_program(program),
+                SECTION_TRACE: encode_trace(trace, len(program)),
+                SECTION_EXTERN: encode_extern_meta(meta),
             },
         )
 

@@ -25,6 +25,8 @@ import os
 from dataclasses import dataclass, replace
 from typing import Any, Callable
 
+from repro.env import env_bool
+
 #: Environment variable naming the default evaluation-server address.
 SERVER_ENV = "REPRO_SERVE_ADDR"
 
@@ -110,11 +112,13 @@ class EvalOptions:
 
             artifacts = ArtifactStore(args.artifacts or None)
 
-        kernel = bool(getattr(args, "kernel", False)) or bool(
-            os.environ.get("REPRO_KERNEL")
-        )
-        kernel_batch = bool(getattr(args, "kernel_batch", False)) or bool(
-            os.environ.get("REPRO_KERNEL_BATCH")
+        # Flag > environment > default — and the environment side goes
+        # through env_bool, so REPRO_KERNEL=0/false/no/off disables (a
+        # bare truthiness test would read any non-empty value, including
+        # "0", as enabled).
+        kernel = bool(getattr(args, "kernel", False)) or env_bool("REPRO_KERNEL")
+        kernel_batch = bool(getattr(args, "kernel_batch", False)) or env_bool(
+            "REPRO_KERNEL_BATCH"
         )
 
         if server is not None:

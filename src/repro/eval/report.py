@@ -8,6 +8,18 @@ from repro.eval.missrates import Figure6Result
 _BAR_WIDTH = 46
 
 
+def _workload_label(name: str) -> str:
+    """Column label: trace tokens shorten to their ``stem@digest`` display."""
+    from repro.ingest.build import is_trace_workload, parse_workload
+
+    if is_trace_workload(name):
+        try:
+            return parse_workload(name).display
+        except ValueError:
+            pass
+    return name
+
+
 def render_figure(result: FigureResult) -> str:
     """Render a relative-performance figure as a labeled bar chart."""
     lines = [result.spec.title, "(RTW-average IPC normalized to T4)", ""]
@@ -17,7 +29,9 @@ def render_figure(result: FigureResult) -> str:
         lines.append(f"  {design:6s} {rel:6.3f}  {bar}")
     lines.append("")
     lines.append("Per-workload relative IPC:")
-    header = "  design " + " ".join(f"{w[:7]:>8s}" for w in result.workloads)
+    header = "  design " + " ".join(
+        f"{_workload_label(w)[:7]:>8s}" for w in result.workloads
+    )
     lines.append(header)
     for design in result.designs:
         per = result.per_workload_relative(design)

@@ -33,6 +33,7 @@ from repro.engine.frontend import FetchPlan, build_fetch_plan, fetch_config_key
 from repro.engine.machine import Machine
 from repro.engine.stats import MachineStats
 from repro.func.executor import capture_trace
+from repro.ingest.build import compile_workload, is_trace_workload, parse_workload
 from repro.kernel import (
     BatchKernelMachine,
     KernelMachine,
@@ -121,8 +122,14 @@ class RunRequest:
 
     @property
     def name(self) -> str:
-        """Display name, e.g. ``xlisp/M8``."""
-        return f"{self.workload}/{self.design}"
+        """Display name, e.g. ``xlisp/M8`` (trace tokens shortened)."""
+        workload = self.workload
+        if is_trace_workload(workload):
+            try:
+                workload = parse_workload(workload).display
+            except ValueError:
+                pass  # malformed token: show it verbatim
+        return f"{workload}/{self.design}"
 
     # -- serialization ------------------------------------------------------
 
@@ -252,6 +259,11 @@ class _BuildCache:
     traces: OrderedDict = field(default_factory=OrderedDict)
     plans: OrderedDict = field(default_factory=OrderedDict)
     kernels: OrderedDict = field(default_factory=OrderedDict)
+    #: Synthesized programs of ingested external traces, keyed on the
+    #: full trace axes.  Separate from ``builds``: an ingested program
+    #: depends on the windowed record subset (so its key includes
+    #: ``max_instructions``), and there is no WorkloadBuild behind it.
+    ingested: OrderedDict = field(default_factory=OrderedDict)
     #: Optional repro.eval.artifacts.ArtifactStore (duck-typed to avoid
     #: an import cycle: resultstore imports this module).
     artifacts: Any = None
@@ -291,6 +303,8 @@ class _BuildCache:
         if trace is not None:
             self.traces.move_to_end(key)
             return trace
+        if is_trace_workload(workload):
+            return self._get_ingested(key)[1]
         if self.artifacts is not None:
             hydrated = self.artifacts.load_build(key)
             if hydrated is not None:
@@ -309,6 +323,60 @@ class _BuildCache:
         while len(self.traces) > self.max_traces:
             self.traces.popitem(last=False)
         return trace
+
+    def _get_ingested(self, key: tuple):
+        """Build (or hydrate) an ingested external-trace workload.
+
+        ``key`` is the full trace axes with an ingested-workload token
+        in the workload slot.  The token is self-describing (source
+        path + content digest + window policy), so this works in any
+        process that holds it — pool workers, the serve daemon — with
+        no registry handshake.  Returns ``(program, trace)`` and caches
+        both (the program in :attr:`ingested`, the trace in
+        :attr:`traces` so designs share it like any synthetic trace).
+        """
+        workload, int_regs, fp_regs, _scale, max_instructions = key
+        spec = parse_workload(workload)
+        program = trace = None
+        if self.artifacts is not None:
+            hydrated = self.artifacts.load_ingested(
+                key, spec.digest12, spec.window.to_payload()
+            )
+            if hydrated is not None:
+                program, trace, _meta = hydrated
+        if trace is None:
+            compiled = compile_workload(
+                spec,
+                int_regs=int_regs,
+                fp_regs=fp_regs,
+                max_instructions=max_instructions,
+            )
+            program, trace = compiled.program, compiled.trace
+            if self.artifacts is not None:
+                self.artifacts.save_ingested(key, program, trace, compiled.meta)
+        self.ingested[key] = program
+        while len(self.ingested) > self.max_builds:
+            self.ingested.popitem(last=False)
+        self.traces[key] = trace
+        while len(self.traces) > self.max_traces:
+            self.traces.popitem(last=False)
+        return program, trace
+
+    def get_ingested_program(
+        self,
+        workload: str,
+        int_regs: int,
+        fp_regs: int,
+        scale: float,
+        max_instructions: int,
+    ):
+        """The synthesized program behind an ingested workload token."""
+        key = (workload, int_regs, fp_regs, scale, max_instructions)
+        program = self.ingested.get(key)
+        if program is not None:
+            self.ingested.move_to_end(key)
+            return program
+        return self._get_ingested(key)[0]
 
     def get_kernel(self, req: "RunRequest", trace: list, geom_params=None):
         """Encoded kernel-replay arrays, shared across designs.
@@ -398,6 +466,7 @@ def clear_build_cache() -> None:
     _CACHE.traces.clear()
     _CACHE.plans.clear()
     _CACHE.kernels.clear()
+    _CACHE.ingested.clear()
 
 
 def configure_artifacts(store) -> Any:

@@ -32,6 +32,7 @@ check guards obvious mismatches, and containers written by
 from __future__ import annotations
 
 import json
+import os
 import struct
 from pathlib import Path
 from typing import Iterable, Iterator
@@ -59,6 +60,12 @@ SECTION_PLAN = b"PLAN"
 SECTION_KERNEL = b"KERN"
 #: Per-workload analysis profile (see :mod:`repro.analysis.profile`).
 SECTION_PROFILE = b"PROF"
+#: Provenance of an ingested external trace (see :mod:`repro.ingest`):
+#: source digest/record count + window policy, as canonical JSON.  Its
+#: presence marks a container holding a compiled *external* build, and
+#: hydration verifies the payload against the requesting workload token
+#: so a stale or foreign build reads as a clean cache miss.
+SECTION_EXTERN = b"EXTR"
 
 #: Sections this build of the reader understands.  Unknown tags are
 #: *retained*, not rejected: a version-2 container written by a newer
@@ -69,7 +76,14 @@ SECTION_PROFILE = b"PROF"
 #: validity is structural: exactly 4 printable ASCII bytes, which
 #: distinguishes a future extension from a corrupt or foreign file.
 KNOWN_SECTIONS = frozenset(
-    (SECTION_PROGRAM, SECTION_TRACE, SECTION_PLAN, SECTION_KERNEL, SECTION_PROFILE)
+    (
+        SECTION_PROGRAM,
+        SECTION_TRACE,
+        SECTION_PLAN,
+        SECTION_KERNEL,
+        SECTION_PROFILE,
+        SECTION_EXTERN,
+    )
 )
 
 
@@ -102,8 +116,17 @@ def write_container(path: "str | Path", sections: dict[bytes, bytes]) -> None:
 
 
 def read_container(path: "str | Path") -> dict[bytes, bytes]:
-    """Read a version-2 container back as a ``{tag: payload}`` mapping."""
+    """Read a version-2 container back as a ``{tag: payload}`` mapping.
+
+    Every way a container can lie about its shape raises
+    :class:`TraceFileError` — never ``struct.error``, never a silent
+    partial read, never an attempted multi-gigabyte allocation from a
+    corrupt length field.  The artifact store relies on this: a damaged
+    cache entry must read as a *clean miss* (one well-known exception
+    type), not crash the run that touched it.
+    """
     with open(path, "rb") as handle:
+        file_size = os.fstat(handle.fileno()).st_size
         header = handle.read(_HEADER.size)
         if len(header) < _HEADER.size:
             raise TraceFileError("truncated header")
@@ -119,17 +142,34 @@ def read_container(path: "str | Path") -> dict[bytes, bytes]:
         if version != _VERSION:
             raise TraceFileError(f"unsupported version: {version}")
         sections: dict[bytes, bytes] = {}
+        offset = _HEADER.size
         for _ in range(count):
             raw = handle.read(_SECTION.size)
             if len(raw) < _SECTION.size:
                 raise TraceFileError("truncated section header")
+            offset += _SECTION.size
             tag, length = _SECTION.unpack(raw)
             if not _valid_tag(tag):
                 raise TraceFileError(f"malformed section tag: {tag!r}")
+            # Check the declared length against what the file can still
+            # hold *before* reading: a corrupt u64 length would otherwise
+            # ask the allocator for up to 16 EiB (MemoryError/OverflowError,
+            # which nothing downstream treats as "corrupt file").
+            if length > file_size - offset:
+                raise TraceFileError(
+                    f"truncated {tag!r} section: declares {length} bytes "
+                    f"but only {file_size - offset} remain in the file"
+                )
             payload = handle.read(length)
             if len(payload) < length:
                 raise TraceFileError(f"truncated {tag!r} section")
+            offset += length
             sections[tag] = payload
+        if offset != file_size:
+            raise TraceFileError(
+                f"{file_size - offset} bytes of trailing data after the "
+                f"last declared section"
+            )
     return sections
 
 
@@ -190,6 +230,37 @@ def decode_program(data: bytes) -> Program:
         )
     except (ValueError, KeyError, TypeError, IndexError) as exc:
         raise TraceFileError(f"malformed program section: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# External-trace provenance codec (canonical JSON payload).
+# ---------------------------------------------------------------------------
+
+
+def encode_extern_meta(meta: dict) -> bytes:
+    """Serialize ingested-trace provenance to an ``EXTR`` payload.
+
+    ``meta`` is the :attr:`repro.ingest.build.CompiledTrace.meta` dict
+    (source digest, source record count, window policy, compiled
+    record/slot counts).  Stored as versioned canonical JSON so the
+    hydration check in :mod:`repro.eval.artifacts` can compare fields
+    without caring about key order.
+    """
+    payload = {"version": 1, **meta}
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def decode_extern_meta(data: bytes) -> dict:
+    """Rebuild the provenance dict from an ``EXTR`` section payload."""
+    try:
+        payload = json.loads(data)
+    except ValueError as exc:
+        raise TraceFileError(f"malformed extern section: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise TraceFileError("malformed extern section: not a JSON object")
+    if payload.pop("version", None) != 1:
+        raise TraceFileError("unsupported extern-section version")
+    return payload
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,77 @@
+"""Real-trace ingestion: external address traces as first-class workloads.
+
+The ingestion frontend turns a captured address/instruction trace into
+a workload the rest of the library treats exactly like a synthetic one:
+
+1. **Convert** a capture (Valgrind ``lackey`` output, generic CSV) into
+   the portable record stream (:mod:`repro.ingest.format`,
+   :mod:`repro.ingest.convert`);
+2. **Window** it — warmup skip plus deterministic stride/seeded-random
+   sampling windows (:mod:`repro.ingest.window`);
+3. **Compile** the sample into the engine's build products — a
+   synthesized static program plus the verbatim-address dynamic stream
+   (:mod:`repro.ingest.build`) — cached through the artifact store's
+   ``EXTR`` tracefile section like every other build.
+
+The handle for all of it is the *workload token*
+``trace:<digest>:<path>?<window>`` minted by :func:`trace_workload`:
+pass it (or ``--trace FILE`` on the CLIs) anywhere a workload name is
+accepted — ``repro.eval``, ``--screen``, the serve daemon, the
+differential checker — and every cache keys on trace content + window
+policy automatically.  See ``docs/ingestion.md`` for the format
+specification and a worked capture-to-figure example.
+"""
+
+from repro.ingest.build import (
+    CompiledTrace,
+    IngestSpec,
+    add_trace_args,
+    add_window_args,
+    compile_workload,
+    is_trace_workload,
+    parse_workload,
+    trace_workload,
+    trace_workload_from_args,
+    window_from_args,
+)
+from repro.ingest.convert import convert_csv, convert_lackey
+from repro.ingest.format import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    IngestError,
+    MEM_CLASSES,
+    OP_CLASSES,
+    TraceRecord,
+    count_records,
+    read_portable,
+    source_digest,
+    write_portable,
+)
+from repro.ingest.window import SELECT_MODES, WindowSpec
+
+__all__ = [
+    "CompiledTrace",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "IngestError",
+    "IngestSpec",
+    "MEM_CLASSES",
+    "OP_CLASSES",
+    "SELECT_MODES",
+    "TraceRecord",
+    "WindowSpec",
+    "add_trace_args",
+    "add_window_args",
+    "compile_workload",
+    "convert_csv",
+    "convert_lackey",
+    "count_records",
+    "is_trace_workload",
+    "parse_workload",
+    "read_portable",
+    "source_digest",
+    "trace_workload",
+    "trace_workload_from_args",
+    "window_from_args",
+    "write_portable",
+]

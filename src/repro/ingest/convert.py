@@ -1,0 +1,156 @@
+"""Converters from captured trace formats to the portable stream.
+
+Two front doors cover the common capture paths:
+
+* :func:`convert_lackey` — the output of Valgrind's bundled ``lackey``
+  tool (``valgrind --tool=lackey --trace-mem=yes ./prog``), the easiest
+  real-program capture available on a stock Linux box;
+* :func:`convert_csv` — a four-column escape hatch
+  (``op,pc,ea,size``) for anything else: a custom Pin tool, a
+  QEMU plugin, a spreadsheet of hand-written references.
+
+Both stream line-by-line (arbitrarily long captures, flat memory),
+transparently read ``.gz`` inputs, validate as they go and report
+malformed lines with file:line positions.
+
+Lackey's dialect, for reference::
+
+    ==12345== Memcheck banner lines (ignored)
+    I  0023C790,2            # instruction fetch at pc, length
+     L 04EFF8A8,8            # data load  (leading space)
+     S 04EFF8A0,4            # data store
+     M 0425D490,1            # modify (read-modify-write)
+
+Memory lines describe data references of the most recent ``I`` line's
+instruction, so the converter emits one portable record per memory line
+(class ``load``/``store``/``modify``) carrying that instruction's pc,
+and one ``other`` record for each instruction with no memory lines.
+Lackey does not mark control transfers, so the converter infers them
+from the fetch stream: an instruction whose successor pc is not the
+fall-through (``pc + length``) was a taken transfer and is emitted as
+class ``branch``.  Not-taken branches are indistinguishable from ALU
+instructions in a fetch trace and land in ``other`` — exactly the
+information a pc/ea capture can honestly provide, and enough for the
+compiled replay to synthesize conditional branches per static pc (see
+:mod:`repro.ingest.build`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.ingest.format import (
+    IngestError,
+    OP_CLASSES,
+    TraceRecord,
+    open_maybe_gzip,
+)
+
+#: Memory-line markers in lackey output mapped to portable classes.
+_LACKEY_MEM = {"L": "load", "S": "store", "M": "modify"}
+
+
+def _parse_hex_pair(body: str, where: str) -> "tuple[int, int]":
+    """Parse lackey's ``ADDR,SIZE`` payload (both may be hex or decimal)."""
+    addr_text, sep, size_text = body.partition(",")
+    if not sep:
+        raise IngestError(f"{where}: expected 'addr,size', got {body!r}")
+    try:
+        return int(addr_text, 16), int(size_text, 0)
+    except ValueError as exc:
+        raise IngestError(f"{where}: malformed address pair {body!r}") from exc
+
+
+def convert_lackey(path: "str | Path") -> Iterator[TraceRecord]:
+    """Stream portable records from a Valgrind lackey ``--trace-mem`` log.
+
+    One record per data reference, plus one ``other``/``branch`` record
+    per instruction without data references; taken control transfers
+    are inferred from fetch discontinuities (see the module docstring).
+    """
+    # One instruction is held back until its successor's pc is known
+    # (branch inference needs the fetch discontinuity); its memory
+    # records were already classified and just wait to be flushed.
+    pending: "list[TraceRecord]" = []
+    pending_pc = pending_len = None
+    pending_where = ""
+
+    def flush(next_pc: "int | None") -> Iterator[TraceRecord]:
+        if pending_pc is None:
+            return
+        if pending:
+            yield from pending
+        else:
+            taken = next_pc is not None and next_pc != pending_pc + pending_len
+            yield TraceRecord(
+                op="branch" if taken else "other",
+                pc=pending_pc,
+                size=pending_len,
+            ).validate(pending_where)
+
+    with open_maybe_gzip(path, "rt") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n")
+            if not line.strip() or line.startswith("=="):
+                continue  # valgrind banner / blank
+            where = f"{path}:{lineno}"
+            marker = line[0]
+            if marker == "I":
+                pc, length = _parse_hex_pair(line[1:].strip(), where)
+                yield from flush(pc)
+                pending = []
+                pending_pc, pending_len = pc, length
+                pending_where = where
+            elif marker == " " and len(line) > 2 and line[1] in _LACKEY_MEM:
+                if pending_pc is None:
+                    raise IngestError(
+                        f"{where}: memory reference before any instruction line"
+                    )
+                ea, size = _parse_hex_pair(line[2:].strip(), where)
+                pending.append(
+                    TraceRecord(
+                        op=_LACKEY_MEM[line[1]], pc=pending_pc, ea=ea, size=size
+                    ).validate(where)
+                )
+            else:
+                raise IngestError(f"{where}: unrecognized lackey line {line!r}")
+        yield from flush(None)
+
+
+def convert_csv(path: "str | Path", header: "bool | None" = None) -> Iterator[TraceRecord]:
+    """Stream portable records from ``op,pc,ea,size`` CSV.
+
+    * ``op`` — any portable class name (case-insensitive);
+    * ``pc``/``ea`` — hex (``0x...``) or decimal; ``ea`` empty or ``-``
+      for non-memory classes;
+    * ``size`` — optional, defaults to 4.
+
+    ``header=None`` (the default) auto-detects a header row by whether
+    the first cell names a known op class.
+    """
+    first_data = True
+    with open_maybe_gzip(path, "rt") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            cells = [cell.strip() for cell in line.split(",")]
+            if first_data:
+                if header is None:
+                    header = cells[0].lower() not in OP_CLASSES
+                first_data = False
+                if header:
+                    continue
+            where = f"{path}:{lineno}"
+            if len(cells) < 2:
+                raise IngestError(f"{where}: expected op,pc[,ea[,size]]")
+            op = cells[0].lower()
+            try:
+                pc = int(cells[1], 0)
+                ea_text = cells[2] if len(cells) > 2 else ""
+                ea = None if ea_text in ("", "-") else int(ea_text, 0)
+                size = int(cells[3], 0) if len(cells) > 3 and cells[3] else 4
+            except ValueError as exc:
+                raise IngestError(f"{where}: malformed field: {exc}") from exc
+            yield TraceRecord(op=op, pc=pc, ea=ea, size=size).validate(where)

@@ -48,12 +48,12 @@ arrays still hydrate and the geometry is recomputed
 
 from __future__ import annotations
 
-import os
 import struct
 import sys
 from array import array
 from typing import Sequence
 
+from repro.env import env_bool
 from repro.func.dyninst import DynInst
 from repro.func.tracefile import TraceFileError
 
@@ -181,7 +181,7 @@ class EncodedTrace:
 
 def _numpy():
     """The numpy module, or ``None`` (not installed / ``REPRO_NO_NUMPY``)."""
-    if os.environ.get("REPRO_NO_NUMPY"):
+    if env_bool("REPRO_NO_NUMPY"):
         return None
     try:
         import numpy

@@ -69,6 +69,28 @@ async def amain(args: argparse.Namespace) -> int:
         from repro.eval.artifacts import ArtifactStore
 
         opts = opts.replace(artifacts=ArtifactStore(None))
+    if args.trace is not None:
+        # Pre-warm an ingested workload: mint its token (validating the
+        # file and hashing its content), compile the default-budget
+        # build into the artifact store so the first client requests
+        # hydrate instead of compiling, and print the token clients
+        # should put in their requests' workload field.
+        from repro.eval.runner import RunRequest, _CACHE, configure_artifacts
+        from repro.ingest.build import trace_workload_from_args
+
+        token = trace_workload_from_args(args)
+        default_budget = RunRequest.__dataclass_fields__["max_instructions"].default
+        previous = configure_artifacts(opts.artifacts)
+        try:
+            trace = _CACHE.get_trace(token, 32, 32, 1.0, default_budget)
+        finally:
+            configure_artifacts(previous)
+        print(
+            f"repro.serve: ingested {args.trace} ({len(trace)} records at the "
+            f"default budget); request it as workload:\n  {token}",
+            file=sys.stderr,
+            flush=True,
+        )
     address = args.listen or default_server_address()
     server = build_server(
         address,
@@ -112,6 +134,9 @@ def main(argv: "list[str] | None" = None) -> int:
         "or ~/.cache/repro/serve.sock)",
     )
     add_eval_args(parser, jobs=True, cache=True, artifacts=True)
+    from repro.ingest.build import add_trace_args
+
+    add_trace_args(parser)
     parser.add_argument(
         "--no-artifacts",
         action="store_true",

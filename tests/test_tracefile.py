@@ -17,10 +17,15 @@ from repro.engine.machine import Machine
 from repro.func.dyninst import DynInst
 from repro.func.executor import Executor, capture_trace
 from repro.func.tracefile import (
+    SECTION_EXTERN,
+    SECTION_KERNEL,
+    SECTION_PROFILE,
     SECTION_PROGRAM,
     SECTION_TRACE,
     TraceFileError,
+    decode_extern_meta,
     decode_program,
+    encode_extern_meta,
     encode_program,
     encode_trace,
     load_program,
@@ -248,6 +253,88 @@ class TestContainerErrorPaths:
         )
         with pytest.raises(TraceFileError, match="negative sequence"):
             encode_trace([synthetic], len(prog))
+
+
+class TestCorruptSectionLengths:
+    """A corrupted u64 section length must surface as TraceFileError —
+    never a struct.error, a MemoryError from a multi-GiB read attempt,
+    or a silent short read."""
+
+    _header = struct.Struct("<4sHxxQQ")
+    _section = struct.Struct("<4sQ")
+
+    def _container(self, tmp_path, tag, payload=b"payload"):
+        path = tmp_path / "c.rpta"
+        write_container(path, {tag: payload})
+        return path
+
+    @pytest.mark.parametrize(
+        "tag", [SECTION_EXTERN, SECTION_KERNEL, SECTION_PROFILE, SECTION_TRACE]
+    )
+    def test_huge_declared_length_rejected(self, tmp_path, tag):
+        path = self._container(tmp_path, tag)
+        data = bytearray(path.read_bytes())
+        # Overwrite the section length with ~16 EiB; a naive
+        # handle.read(length) would try to allocate it.
+        struct.pack_into("<Q", data, self._header.size + 4, 2**63)
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFileError, match="declares"):
+            read_container(path)
+
+    @pytest.mark.parametrize("tag", [SECTION_EXTERN, SECTION_KERNEL, SECTION_PROFILE])
+    def test_trailing_section_truncated_on_disk_rejected(self, tmp_path, tag):
+        # The doctored tag is the *last* section: without an explicit
+        # length-vs-file-size check its short read would previously
+        # slip through as a silently clipped payload.
+        path = tmp_path / "c.rpta"
+        write_container(
+            path, {SECTION_PROGRAM: b"first", tag: b"0123456789abcdef"}
+        )
+        path.write_bytes(path.read_bytes()[:-9])
+        with pytest.raises(TraceFileError, match="truncated"):
+            read_container(path)
+
+    def test_trailing_garbage_rejected(self, tmp_path):
+        path = self._container(tmp_path, SECTION_PROGRAM)
+        path.write_bytes(path.read_bytes() + b"\x00garbage")
+        with pytest.raises(TraceFileError, match="trailing data"):
+            read_container(path)
+
+
+class TestExternMetaCodec:
+    """EXTR section payload: versioned canonical-JSON provenance."""
+
+    META = {
+        "source_digest": "ab" * 32,
+        "source_records": 123456,
+        "window": {"warmup": 5, "window": 100, "count": 2,
+                   "select": "stride", "stride": 1, "seed": 0},
+        "records": 200,
+        "static_slots": 40,
+        "truncated": False,
+    }
+
+    def test_round_trip(self):
+        assert decode_extern_meta(encode_extern_meta(self.META)) == self.META
+
+    def test_canonical_encoding_is_stable(self):
+        shuffled = dict(reversed(list(self.META.items())))
+        assert encode_extern_meta(shuffled) == encode_extern_meta(self.META)
+
+    def test_non_json_rejected(self):
+        with pytest.raises(TraceFileError, match="malformed extern"):
+            decode_extern_meta(b"\xff\xfenot json")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(TraceFileError, match="malformed extern"):
+            decode_extern_meta(b"[1, 2, 3]")
+
+    def test_unknown_version_rejected(self):
+        payload = encode_extern_meta(self.META).replace(
+            b'"version":1', b'"version":9'
+        )
+        with pytest.raises(TraceFileError, match="version"):
+            decode_extern_meta(payload)
 
 
 class TestFetchPlanCodec:
